@@ -1,0 +1,33 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every paper figure gets one module; panels (a) and (b) of a figure
+share a single sweep, executed once per session and cached here. The
+default scale is reduced (see :mod:`repro.bench.workloads`) so the
+whole suite runs in minutes; export ``REPRO_BENCH_INSTANCES=100`` and
+``REPRO_BENCH_HORIZON_DAYS=365`` to reproduce the paper's averaging
+scale exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import pytest
+
+from repro.bench.runner import ExperimentResult
+
+_CACHE: Dict[str, ExperimentResult] = {}
+
+
+def cached_experiment(
+    key: str, factory: Callable[[], ExperimentResult]
+) -> ExperimentResult:
+    """Run ``factory`` once per session under ``key``; reuse after."""
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    return cached_experiment

@@ -1,0 +1,87 @@
+"""Ablation: TSP construction inside the K-tour subroutine.
+
+Algorithm 1's step 5 covers ``V'_H`` with K min-max tours built on a
+TSP backbone. This bench compares the four constructions (± the local
+search that follows them) on the final objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.appro import appro_schedule
+from repro.core.validation import validate_schedule
+from repro.network.topology import random_wrsn
+from repro.tours.kminmax import solve_k_minmax_tours
+
+METHODS = ("nearest_neighbor", "greedy_edge", "double_mst", "christofides")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    net = random_wrsn(num_sensors=500, seed=201)
+    rng = np.random.default_rng(202)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0, 0.2)) * 10_800.0
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_ablation_tsp_method_in_appro(benchmark, instance, method):
+    requests = instance.all_sensor_ids()
+
+    def run():
+        return appro_schedule(instance, requests, 2, tsp_method=method)
+
+    schedule = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert validate_schedule(schedule, requests) == []
+    print(
+        f"\n[tsp={method}] delay={schedule.longest_delay() / 3600:.2f}h"
+    )
+
+
+@pytest.mark.parametrize("improve", [True, False])
+def test_ablation_local_search(benchmark, instance, improve):
+    """Effect of 2-opt/Or-opt on the raw K-tour bound over a point set
+    (isolated from the rest of Algorithm 1)."""
+    rng = np.random.default_rng(7)
+    from repro.geometry.point import Point
+
+    positions = {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, size=(150, 2)))
+    }
+
+    def run():
+        return solve_k_minmax_tours(
+            list(positions), positions, Point(50, 50), 2, 1.0,
+            service=lambda v: 600.0, tsp_method="nearest_neighbor",
+            improve=improve,
+        )
+
+    tours, bound = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[improve={improve}] minmax bound={bound / 3600:.2f}h")
+    assert bound > 0
+
+
+def test_local_search_never_hurts(instance):
+    from repro.geometry.point import Point
+
+    rng = np.random.default_rng(8)
+    positions = {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, size=(120, 2)))
+    }
+    bounds = {}
+    for improve in (False, True):
+        _, bounds[improve] = solve_k_minmax_tours(
+            list(positions), positions, Point(50, 50), 2, 1.0,
+            service=lambda v: 0.0, tsp_method="nearest_neighbor",
+            improve=improve,
+        )
+    assert bounds[True] <= bounds[False] * 1.01, bounds

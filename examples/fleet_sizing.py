@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fleet sizing: how many chargers does a delay SLA require?
+
+Inverts the paper's question with
+:func:`repro.tours.minchargers.minimum_chargers_for_bound`: instead of
+minimizing delay for a fixed fleet, fix a delay budget (e.g. "every
+round must finish within 24 h") and compute the smallest fleet — once
+for one-to-one charging (a vehicle visits every sensor) and once for
+multi-node charging (a vehicle visits Appro's sojourn stops). The gap
+is the number of *vehicles you don't have to buy* thanks to multi-node
+charging.
+
+Run:
+    python examples/fleet_sizing.py [hours_budget]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import random_wrsn
+from repro.core.appro import appro_schedule_with_artifacts
+from repro.energy.charging import ChargerSpec, full_charge_time
+from repro.tours.minchargers import minimum_chargers_for_bound
+
+
+def main() -> None:
+    budget_h = float(sys.argv[1]) if len(sys.argv) > 1 else 24.0
+    budget_s = budget_h * 3600.0
+    spec = ChargerSpec()
+
+    print(f"delay budget: {budget_h:g} h per charging round\n")
+    print(f"{'n':>5} {'one-to-one fleet':>17} {'multi-node fleet':>17} "
+          f"{'saved':>6}")
+    print("-" * 50)
+
+    for n in (100, 200, 300, 400):
+        net = random_wrsn(num_sensors=n, seed=n)
+        rng = np.random.default_rng(n + 1)
+        net.set_residuals(
+            {
+                sid: float(rng.uniform(0.0, 0.2)) * 10_800.0
+                for sid in net.all_sensor_ids()
+            }
+        )
+        requests = net.all_sensor_ids()
+        positions = net.positions()
+        depot = net.depot.position
+        charge_times = {
+            sid: full_charge_time(
+                net.sensor(sid).capacity_j, net.sensor(sid).residual_j,
+                spec.charge_rate_w,
+            )
+            for sid in requests
+        }
+
+        # One-to-one: every sensor is its own stop.
+        one_to_one = minimum_chargers_for_bound(
+            requests, positions, depot, budget_s,
+            spec.travel_speed_mps, lambda sid: charge_times[sid],
+        )
+
+        # Multi-node: Appro's sojourn candidates with tau(v) weights.
+        _, art = appro_schedule_with_artifacts(net, requests, 1)
+        stops = art.sojourn_candidates
+        from repro.graphs.coverage import coverage_sets
+
+        coverage = coverage_sets(
+            stops, positions, spec.charge_radius_m, targets=requests
+        )
+        tau = {
+            v: max(
+                (charge_times[u] for u in coverage[v]
+                 if u in charge_times),
+                default=0.0,
+            )
+            for v in stops
+        }
+        multi_node = minimum_chargers_for_bound(
+            stops, positions, depot, budget_s,
+            spec.travel_speed_mps, lambda v: tau[v],
+        )
+
+        o = one_to_one.num_chargers
+        m = multi_node.num_chargers
+        o_txt = str(o) if o is not None else "infeasible"
+        m_txt = str(m) if m is not None else "infeasible"
+        saved = str(o - m) if o is not None and m is not None else "-"
+        print(f"{n:>5} {o_txt:>17} {m_txt:>17} {saved:>6}")
+
+    print(
+        "\n(one-to-one must visit every sensor; multi-node only "
+        "Appro's sojourn disks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

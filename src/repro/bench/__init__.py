@@ -1,0 +1,33 @@
+"""Benchmark harness reproducing the paper's evaluation.
+
+* :mod:`repro.bench.workloads` — the paper-parameter instance
+  generators (Section VI-A settings).
+* :mod:`repro.bench.runner` — sweep execution: run a set of algorithms
+  over a parameter sweep, averaging over seeded instances.
+* :mod:`repro.bench.experiments` — one driver per figure panel
+  (Fig. 3(a)/(b), Fig. 4(a)/(b), Fig. 5(a)/(b)).
+* :mod:`repro.bench.reporting` — plain-text table rendering of the
+  series the paper plots.
+"""
+
+from repro.bench.experiments import (
+    fig3_network_size,
+    fig4_data_rate,
+    fig5_num_chargers,
+)
+from repro.bench.reporting import format_series_table, series_to_rows
+from repro.bench.runner import ExperimentResult, SweepPoint, run_sweep
+from repro.bench.workloads import PaperParams, make_instance
+
+__all__ = [
+    "ExperimentResult",
+    "PaperParams",
+    "SweepPoint",
+    "fig3_network_size",
+    "fig4_data_rate",
+    "fig5_num_chargers",
+    "format_series_table",
+    "make_instance",
+    "run_sweep",
+    "series_to_rows",
+]

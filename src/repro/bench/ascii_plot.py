@@ -1,0 +1,125 @@
+"""Terminal line charts for experiment series.
+
+Dependency-free ASCII rendering of the figure series, so a benchmark
+run can show the *shape* of each reproduced figure right in the
+terminal — who wins, where the curves bend — next to the exact numbers
+of the text tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.bench.runner import ExperimentResult
+
+#: Distinct plot glyphs, assigned to algorithms in insertion order.
+_GLYPHS = "o*x+#@%&"
+
+
+def _scale(value, lo, hi, steps):
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(steps, max(0, round(frac * steps)))
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render several named series over shared x-values.
+
+    Args:
+        x_values: shared x coordinates (ascending).
+        series: name -> y values (same length as ``x_values``).
+        width / height: plot body size in characters.
+        title: printed above the plot.
+        y_label: unit tag for the y-axis.
+
+    Returns:
+        The multi-line chart, with a legend mapping glyphs to names.
+    """
+    if not x_values:
+        return f"{title}\n(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected "
+                f"{len(x_values)}"
+            )
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        return f"{title}\n(no series)"
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+
+    grid: List[List[str]] = [
+        [" "] * (width + 1) for _ in range(height + 1)
+    ]
+    for (name, ys), glyph in zip(series.items(), _GLYPHS):
+        prev = None
+        for x, y in zip(x_values, ys):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - _scale(y, y_lo, y_hi, height)
+            # Light interpolation between consecutive points.
+            if prev is not None:
+                pc, pr = prev
+                steps = max(abs(col - pc), abs(row - pr))
+                for s in range(1, steps):
+                    ic = pc + round((col - pc) * s / steps)
+                    ir = pr + round((row - pr) * s / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[row][col] = glyph
+            prev = (col, row)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g} {y_label}".rstrip()
+    bottom_label = f"{y_lo:.3g} {y_label}".rstrip()
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    x_axis = f"{' ' * margin}+{'-' * (width + 1)}"
+    lines.append(x_axis)
+    lines.append(
+        f"{' ' * margin} {str(x_lo):<{(width + 1) // 2}}"
+        f"{str(x_hi):>{(width + 1) - (width + 1) // 2}}"
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append(f"{' ' * margin} legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_experiment(
+    result: ExperimentResult,
+    metric: str,
+    title: str,
+    y_label: str,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """ASCII-plot one metric family of an experiment result."""
+    return ascii_plot(
+        result.x_values,
+        result.series(metric),
+        width=width,
+        height=height,
+        title=title,
+        y_label=y_label,
+    )

@@ -1,0 +1,91 @@
+"""One driver per figure panel of the paper's evaluation.
+
+Each driver builds the sweep the figure varies, runs all five
+algorithms and returns an
+:class:`~repro.bench.runner.ExperimentResult` carrying both panel
+metrics — so ``fig3_network_size()`` covers Fig. 3(a) *and* 3(b),
+``fig4_data_rate()`` covers Fig. 4(a)/(b), and ``fig5_num_chargers()``
+covers Fig. 5(a)/(b).
+
+Paper settings: 100 instances per point and a one-year horizon. The
+drivers accept reduced ``instances`` / ``horizon_s`` for tractable CI
+runs (the benchmark modules pass the env-overridable defaults from
+:mod:`repro.bench.workloads`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.runner import (
+    DEFAULT_ALGORITHMS,
+    ExperimentResult,
+    SweepPoint,
+    run_sweep,
+)
+from repro.bench.workloads import PaperParams
+
+#: The x-axes of the three figures (Section VI-B).
+FIG3_NETWORK_SIZES = (200, 400, 600, 800, 1000, 1200)
+FIG4_B_MAX_KBPS = (10, 20, 30, 40, 50)
+FIG5_NUM_CHARGERS = (1, 2, 3, 4, 5)
+
+
+def fig3_network_size(
+    sizes: Sequence[int] = FIG3_NETWORK_SIZES,
+    instances: int = 2,
+    horizon_s: Optional[float] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    progress=None,
+) -> ExperimentResult:
+    """Fig. 3: vary the network size ``n`` with ``K = 2`` chargers."""
+    base = PaperParams(num_chargers=2)
+    points = [
+        SweepPoint(label=n, params=base.with_overrides(num_sensors=n))
+        for n in sizes
+    ]
+    return run_sweep(
+        "fig3", "n", points, algorithms=algorithms, instances=instances,
+        horizon_s=horizon_s, progress=progress,
+    )
+
+
+def fig4_data_rate(
+    b_max_kbps: Sequence[int] = FIG4_B_MAX_KBPS,
+    instances: int = 2,
+    horizon_s: Optional[float] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    progress=None,
+) -> ExperimentResult:
+    """Fig. 4: vary ``b_max`` with ``n = 1000`` and ``K = 2``."""
+    base = PaperParams(num_sensors=1000, num_chargers=2)
+    points = [
+        SweepPoint(
+            label=b,
+            params=base.with_overrides(b_max_bps=b * 1000.0),
+        )
+        for b in b_max_kbps
+    ]
+    return run_sweep(
+        "fig4", "b_max_kbps", points, algorithms=algorithms,
+        instances=instances, horizon_s=horizon_s, progress=progress,
+    )
+
+
+def fig5_num_chargers(
+    num_chargers: Sequence[int] = FIG5_NUM_CHARGERS,
+    instances: int = 2,
+    horizon_s: Optional[float] = None,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    progress=None,
+) -> ExperimentResult:
+    """Fig. 5: vary ``K`` with ``n = 1000`` sensors."""
+    base = PaperParams(num_sensors=1000)
+    points = [
+        SweepPoint(label=k, params=base.with_overrides(num_chargers=k))
+        for k in num_chargers
+    ]
+    return run_sweep(
+        "fig5", "K", points, algorithms=algorithms, instances=instances,
+        horizon_s=horizon_s, progress=progress,
+    )

@@ -1,0 +1,76 @@
+"""Plain-text rendering of experiment series.
+
+The benchmark modules print the same rows the paper plots — one row per
+x-value, one column per algorithm — so a run's output can be compared
+side by side with the figures (shapes and ratios, not absolute
+numbers; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.runner import ExperimentResult
+
+
+def series_to_rows(
+    result: ExperimentResult, metric: str
+) -> List[Tuple[float, Dict[str, float]]]:
+    """Flatten one metric family into ``(x, {alg: value})`` rows."""
+    series = result.series(metric)
+    rows: List[Tuple[float, Dict[str, float]]] = []
+    for i, x in enumerate(result.x_values):
+        rows.append((x, {alg: values[i] for alg, values in series.items()}))
+    return rows
+
+
+def format_series_table(
+    result: ExperimentResult,
+    metric: str,
+    title: str,
+    unit: str,
+    precision: int = 2,
+) -> str:
+    """Render one metric family as an aligned text table."""
+    series = result.series(metric)
+    algorithms = list(series)
+    header = [result.x_label] + algorithms
+    body: List[List[str]] = []
+    for i, x in enumerate(result.x_values):
+        row = [f"{x:g}"]
+        row.extend(f"{series[alg][i]:.{precision}f}" for alg in algorithms)
+        body.append(row)
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in body)) if body else len(header[c])
+        for c in range(len(header))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+
+    lines = [
+        f"{title}  [{unit}]  (instances={result.instances})",
+        fmt(header),
+        fmt(["-" * w for w in widths]),
+    ]
+    lines.extend(fmt(row) for row in body)
+    return "\n".join(lines)
+
+
+def improvement_over_best_baseline(
+    result: ExperimentResult, metric: str, reference: str = "Appro"
+) -> List[float]:
+    """Per sweep point: ``1 − reference / best-baseline`` for the given
+    metric — the paper's "at least 65 % shorter" statistic."""
+    series = result.series(metric)
+    if reference not in series:
+        raise KeyError(f"reference algorithm {reference!r} not in result")
+    out: List[float] = []
+    for i in range(len(result.x_values)):
+        baselines = [
+            series[alg][i] for alg in series if alg != reference
+        ]
+        best = min(baselines) if baselines else float("nan")
+        ref = series[reference][i]
+        out.append(1.0 - ref / best if best > 0 else float("nan"))
+    return out

@@ -1,0 +1,142 @@
+"""Sweep execution: algorithms × sweep points × instances.
+
+:func:`run_sweep` is the engine behind every figure reproduction: for
+each sweep point (a :class:`PaperParams` override) and each seeded
+instance, it runs the monitoring simulation once per algorithm and
+averages the two paper metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.workloads import PaperParams, make_instance
+from repro.sim.metrics import SimMetrics
+from repro.sim.scenario import ALGORITHMS, AlgorithmSpec, get_algorithm
+from repro.sim.simulator import MonitoringSimulation
+
+#: Figure-legend order used everywhere in reporting.
+DEFAULT_ALGORITHMS = ("Appro", "K-EDF", "NETWRAP", "AA", "K-minMax")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a sweep.
+
+    Attributes:
+        label: the x-axis value as shown in the figure (e.g. ``600``).
+        params: the full parameter set at this point.
+    """
+
+    label: float
+    params: PaperParams
+
+
+@dataclass
+class ExperimentResult:
+    """All measurements of one figure reproduction.
+
+    ``mean_longest_delay_h[alg][i]`` is the average longest tour
+    duration (hours) of algorithm ``alg`` at sweep point ``i``;
+    ``avg_dead_min`` is the average dead duration per sensor (minutes).
+    """
+
+    name: str
+    x_label: str
+    x_values: List[float] = field(default_factory=list)
+    mean_longest_delay_h: Dict[str, List[float]] = field(default_factory=dict)
+    avg_dead_min: Dict[str, List[float]] = field(default_factory=dict)
+    instances: int = 0
+
+    def algorithms(self) -> List[str]:
+        return list(self.mean_longest_delay_h)
+
+    def series(self, metric: str) -> Dict[str, List[float]]:
+        """One of the two metric families by name."""
+        if metric == "longest_delay_h":
+            return self.mean_longest_delay_h
+        if metric == "dead_min":
+            return self.avg_dead_min
+        raise KeyError(
+            f"unknown metric {metric!r}; expected 'longest_delay_h' or "
+            f"'dead_min'"
+        )
+
+
+def simulate_once(
+    params: PaperParams,
+    algorithm: str,
+    seed: int,
+    horizon_s: Optional[float] = None,
+) -> SimMetrics:
+    """One instance × one algorithm monitoring simulation."""
+    network = make_instance(params, seed)
+    sim = MonitoringSimulation(
+        network=network,
+        algorithm=get_algorithm(algorithm),
+        num_chargers=params.num_chargers,
+        charger=params.charger(),
+        threshold=params.request_threshold,
+        horizon_s=horizon_s if horizon_s is not None else params.horizon_s,
+    )
+    return sim.run()
+
+
+def run_sweep(
+    name: str,
+    x_label: str,
+    points: Sequence[SweepPoint],
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    instances: int = 2,
+    horizon_s: Optional[float] = None,
+    base_seed: int = 20190707,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExperimentResult:
+    """Run a full sweep and average the paper metrics.
+
+    Args:
+        name: experiment id (e.g. ``"fig3"``).
+        x_label: x-axis description for reporting.
+        points: the sweep points.
+        algorithms: registry names to compare.
+        instances: seeded instances per point (paper: 100).
+        horizon_s: simulation horizon override (paper: one year).
+        base_seed: instance seeds are ``base_seed + 1009 * i``.
+        progress: optional callback receiving one line per completed
+            (point, algorithm) cell.
+
+    Returns:
+        The populated :class:`ExperimentResult`.
+    """
+    if instances <= 0:
+        raise ValueError(f"instances must be positive, got {instances}")
+    result = ExperimentResult(
+        name=name, x_label=x_label, instances=instances
+    )
+    for alg in algorithms:
+        result.mean_longest_delay_h[alg] = []
+        result.avg_dead_min[alg] = []
+    for point in points:
+        result.x_values.append(point.label)
+        for alg in algorithms:
+            delays: List[float] = []
+            deads: List[float] = []
+            for i in range(instances):
+                metrics = simulate_once(
+                    point.params, alg, seed=base_seed + 1009 * i,
+                    horizon_s=horizon_s,
+                )
+                delays.append(metrics.mean_longest_delay_hours)
+                deads.append(metrics.avg_dead_time_per_sensor_minutes)
+            result.mean_longest_delay_h[alg].append(
+                sum(delays) / len(delays)
+            )
+            result.avg_dead_min[alg].append(sum(deads) / len(deads))
+            if progress is not None:
+                progress(
+                    f"{name} {x_label}={point.label} {alg}: "
+                    f"delay={result.mean_longest_delay_h[alg][-1]:.2f}h "
+                    f"dead={result.avg_dead_min[alg][-1]:.1f}min"
+                )
+    return result

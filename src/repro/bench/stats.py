@@ -1,0 +1,106 @@
+"""Summary statistics for experiment aggregation.
+
+The paper reports the mean of 100 instances per sweep point. This
+module provides the aggregation used by the runner and the CLI: means,
+sample standard deviations and normal-approximation confidence
+intervals, without pulling in heavyweight stats dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and confidence half-width of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> "tuple[float, float]":
+        return (self.mean - self.ci95_half_width,
+                self.mean + self.ci95_half_width)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.ci95_half_width:.2g} (n={self.n})"
+
+
+#: z-value for a 95% normal confidence interval.
+_Z95 = 1.959963984540054
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean / sample std / 95% CI half-width of ``values``.
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(n=1, mean=mean, std=0.0, ci95_half_width=0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(var)
+    return Summary(
+        n=n, mean=mean, std=std, ci95_half_width=_Z95 * std / math.sqrt(n)
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation).
+
+    Raises:
+        ValueError: on an empty sample or non-positive entries.
+    """
+    if not values:
+        raise ValueError("cannot aggregate an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]).
+
+    Raises:
+        ValueError: on an empty sample or out-of-range ``q``.
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def paired_speedups(
+    baseline: Sequence[float], candidate: Sequence[float]
+) -> List[float]:
+    """Per-pair ``baseline / candidate`` ratios (>1 = candidate faster).
+
+    Raises:
+        ValueError: on length mismatch or non-positive candidate values.
+    """
+    if len(baseline) != len(candidate):
+        raise ValueError(
+            f"length mismatch: {len(baseline)} vs {len(candidate)}"
+        )
+    if any(c <= 0 for c in candidate):
+        raise ValueError("candidate values must be positive")
+    return [b / c for b, c in zip(baseline, candidate)]

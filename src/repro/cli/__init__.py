@@ -1,0 +1,16 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the library's main workflows without
+writing code:
+
+* ``generate`` — create and save a paper-parameter WRSN instance;
+* ``schedule`` — run one algorithm on an instance and report/save the
+  schedule;
+* ``simulate`` — the long-horizon monitoring simulation;
+* ``bench`` — regenerate a paper figure as tables and ASCII plots;
+* ``compare`` — all five algorithms side by side on one instance.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

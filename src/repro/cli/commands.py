@@ -1,0 +1,275 @@
+"""CLI command implementations.
+
+Each ``cmd_*`` takes the parsed ``argparse`` namespace, prints
+human-readable output to stdout, and returns a process exit code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.bench import experiments
+from repro.bench.ascii_plot import plot_experiment
+from repro.bench.reporting import (
+    format_series_table,
+    improvement_over_best_baseline,
+)
+from repro.core.validation import validate_schedule
+from repro.energy.charging import ChargerSpec
+from repro.io import load_wrsn, save_schedule, save_wrsn
+from repro.network.requests import sensors_below_threshold
+from repro.network.topology import random_wrsn
+from repro.sim.online import OnlineMonitoringSimulation
+from repro.sim.scenario import ALGORITHMS
+from repro.sim.simulator import MonitoringSimulation
+
+
+def cmd_generate(args) -> int:
+    """Generate a paper-parameter instance and save it."""
+    net = random_wrsn(
+        num_sensors=args.num_sensors,
+        seed=args.seed,
+        b_max_bps=args.b_max_kbps * 1000.0,
+    )
+    if args.deplete:
+        rng = np.random.default_rng(args.seed + 1)
+        net.set_residuals(
+            {
+                sid: float(rng.uniform(0.0, 0.2))
+                * net.sensor(sid).capacity_j
+                for sid in net.all_sensor_ids()
+            }
+        )
+    save_wrsn(net, args.output)
+    state = "depleted" if args.deplete else "full batteries"
+    print(
+        f"wrote {args.output}: {len(net)} sensors ({state}), "
+        f"depot at {tuple(net.depot.position)}"
+    )
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Run one algorithm on a stored instance."""
+    net = load_wrsn(args.instance)
+    if args.threshold >= 1.0:
+        requests = net.all_sensor_ids()
+    else:
+        requests = sensors_below_threshold(net, threshold=args.threshold)
+    if not requests:
+        print("no sensor is below the request threshold; nothing to do")
+        return 0
+    spec = ChargerSpec()
+    lifetimes = {sid: 1e12 for sid in requests}
+    t0 = time.time()
+    result = ALGORITHMS[args.algorithm].run(
+        net, requests, args.num_chargers, charger=spec, lifetimes=lifetimes
+    )
+    elapsed = time.time() - t0
+    print(f"algorithm      : {args.algorithm}")
+    print(f"requests       : {len(requests)}")
+    print(f"chargers (K)   : {args.num_chargers}")
+    print(f"longest delay  : {result.longest_delay() / 3600:.2f} h")
+    if hasattr(result, "tour_delays"):
+        delays = ", ".join(
+            f"{d / 3600:.2f}" for d in result.tour_delays()
+        )
+        print(f"per-tour (h)   : {delays}")
+    print(f"solved in      : {elapsed:.2f} s")
+    if args.validate:
+        if hasattr(result, "coverage"):
+            violations = validate_schedule(result, requests)
+            print(f"violations     : {len(violations)}")
+            for v in violations[:10]:
+                print(f"  [{v.kind}] {v.detail}")
+        else:
+            print("violations     : n/a (one-to-one baseline)")
+    if args.output:
+        save_schedule(result, args.output, algorithm=args.algorithm)
+        print(f"schedule saved : {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Long-horizon monitoring simulation."""
+    net = random_wrsn(
+        num_sensors=args.num_sensors,
+        seed=args.seed,
+        b_max_bps=args.b_max_kbps * 1000.0,
+    )
+    horizon_s = args.days * 86400.0
+    t0 = time.time()
+    if args.algorithm == "Appro-Online":
+        sim = OnlineMonitoringSimulation(
+            net, num_chargers=args.num_chargers, horizon_s=horizon_s
+        )
+    else:
+        sim = MonitoringSimulation(
+            net,
+            args.algorithm,
+            num_chargers=args.num_chargers,
+            horizon_s=horizon_s,
+        )
+    metrics = sim.run()
+    elapsed = time.time() - t0
+    print(f"algorithm                  : {args.algorithm}")
+    print(f"network / chargers         : n={args.num_sensors}, "
+          f"K={args.num_chargers}")
+    print(f"horizon                    : {args.days:g} days")
+    print(f"scheduling rounds          : {metrics.num_rounds}")
+    print(f"mean longest tour duration : "
+          f"{metrics.mean_longest_delay_hours:.2f} h")
+    print(f"avg dead duration / sensor : "
+          f"{metrics.avg_dead_time_per_sensor_minutes:.1f} min")
+    print(f"sensors ever dead          : "
+          f"{metrics.num_sensors_ever_dead}/{metrics.num_sensors}")
+    print(f"simulated in               : {elapsed:.1f} s")
+    return 0
+
+
+_FIGURES = {
+    "fig3": (
+        experiments.fig3_network_size,
+        "n",
+        "Fig. 3: vs network size (K=2)",
+    ),
+    "fig4": (
+        experiments.fig4_data_rate,
+        "b_max (kbps)",
+        "Fig. 4: vs max data rate (n=1000, K=2)",
+    ),
+    "fig5": (
+        experiments.fig5_num_chargers,
+        "K",
+        "Fig. 5: vs number of chargers (n=1000)",
+    ),
+}
+
+
+def cmd_bench(args) -> int:
+    """Regenerate one paper figure."""
+    driver, x_label, title = _FIGURES[args.figure]
+    result = driver(
+        instances=args.instances,
+        horizon_s=args.days * 86400.0,
+        progress=lambda line: print(f"  .. {line}"),
+    )
+    print()
+    print(format_series_table(
+        result, "longest_delay_h", f"{title} — longest tour duration",
+        "hours",
+    ))
+    print()
+    print(format_series_table(
+        result, "dead_min", f"{title} — avg dead duration per sensor",
+        "minutes",
+    ))
+    gains = improvement_over_best_baseline(result, "longest_delay_h")
+    print(
+        "\nAppro improvement over the best baseline per point: "
+        + ", ".join(f"{g:.0%}" for g in gains)
+    )
+    if args.plot:
+        print()
+        print(plot_experiment(
+            result, "longest_delay_h",
+            f"{title} — longest tour duration", "h",
+        ))
+        print()
+        print(plot_experiment(
+            result, "dead_min",
+            f"{title} — dead duration", "min",
+        ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run the full campaign and write the report files."""
+    from repro.bench.campaign import run_campaign, write_campaign
+
+    campaign = run_campaign(
+        instances=args.instances,
+        horizon_days=args.days,
+        figures=tuple(args.figures),
+        progress=lambda line: print(f"  .. {line}"),
+    )
+    paths = write_campaign(campaign, args.output_dir)
+    print(f"report : {paths['report']}")
+    print(f"results: {paths['results']}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Structural + load analysis of a stored instance."""
+    from repro.graphs.analysis import load_factor, structure_report
+
+    net = load_wrsn(args.instance)
+    if args.threshold >= 1.0:
+        requests = net.all_sensor_ids()
+    else:
+        requests = sensors_below_threshold(net, threshold=args.threshold)
+    load = load_factor(net, num_chargers=args.num_chargers)
+    print(f"sensors                 : {len(net)}")
+    print(f"analysed request set    : {len(requests)}")
+    print(f"total demand            : {load.total_demand_w:.2f} W")
+    print(
+        f"one-to-one capacity     : {load.one_to_one_capacity_w:.2f} W "
+        f"(K={args.num_chargers})"
+    )
+    print(f"load factor             : {load.load_factor:.2f}"
+          + ("  << baselines will diverge"
+             if load.predicts_baseline_divergence else ""))
+    print(
+        f"hottest sensor          : {load.hottest_sensor_w * 1000:.1f} mW "
+        f"(full-battery lifetime {load.hottest_lifetime_h:.1f} h)"
+    )
+    if requests:
+        report = structure_report(net, requests)
+        print(f"charging graph edges    : {report.charging_graph_edges}")
+        print(f"sojourn candidates |S_I|: {report.sojourn_candidates}")
+        print(f"conflict-free core      : {report.conflict_free_core}")
+        print(f"conflict edges / max deg: {report.conflict_edges} / "
+              f"{report.delta_h} (Lemma 2 bound 26)")
+        print(f"mean disk occupancy     : {report.mean_occupancy:.2f}")
+        print(f"stops per sensor        : {report.stops_per_sensor:.2f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """All five algorithms on one fully-requesting instance."""
+    net = random_wrsn(num_sensors=args.num_sensors, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0.0, 0.2)) * net.sensor(sid).capacity_j
+            for sid in net.all_sensor_ids()
+        }
+    )
+    requests = net.all_sensor_ids()
+    lifetimes = {sid: 1e12 for sid in requests}
+    rows: Dict[str, float] = {}
+    print(
+        f"n={args.num_sensors}, all requesting, K={args.num_chargers}\n"
+    )
+    print(f"{'algorithm':<10} {'longest delay (h)':>18} {'runtime (s)':>12}")
+    print("-" * 44)
+    for name, spec in ALGORITHMS.items():
+        t0 = time.time()
+        result = spec.run(
+            net, requests, args.num_chargers, charger=None,
+            lifetimes=lifetimes,
+        )
+        rows[name] = result.longest_delay()
+        print(
+            f"{name:<10} {result.longest_delay() / 3600:>18.2f} "
+            f"{time.time() - t0:>12.2f}"
+        )
+    best_baseline = min(v for k, v in rows.items() if k != "Appro")
+    print(
+        f"\nAppro is {1 - rows['Appro'] / best_baseline:.0%} shorter than "
+        f"the best one-to-one baseline."
+    )
+    return 0

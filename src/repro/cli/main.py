@@ -1,0 +1,145 @@
+"""CLI argument parsing and dispatch.
+
+Kept separate from the command implementations
+(:mod:`repro.cli.commands`) so the parser can be unit-tested without
+executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import commands
+from repro.sim.scenario import ALGORITHMS
+
+_ALGORITHM_NAMES = sorted(ALGORITHMS)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-node charging with multiple mobile chargers "
+            "(Xu et al., ICDCS 2019) — reproduction toolkit."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="generate a WRSN instance and save it as JSON"
+    )
+    gen.add_argument("output", help="output JSON path")
+    gen.add_argument("-n", "--num-sensors", type=int, default=500)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--deplete",
+        action="store_true",
+        help="draw residuals uniformly below the 20%% threshold",
+    )
+    gen.add_argument("--b-max-kbps", type=float, default=50.0)
+    gen.set_defaults(func=commands.cmd_generate)
+
+    sch = sub.add_parser(
+        "schedule",
+        help="run one scheduling algorithm on an instance",
+    )
+    sch.add_argument("instance", help="WRSN JSON (from 'generate')")
+    sch.add_argument(
+        "-a", "--algorithm", choices=_ALGORITHM_NAMES, default="Appro"
+    )
+    sch.add_argument("-k", "--num-chargers", type=int, default=2)
+    sch.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="request sensors below this residual fraction "
+        "(default 0.2; use 1.0 to request everyone)",
+    )
+    sch.add_argument("-o", "--output", help="save the schedule JSON here")
+    sch.add_argument(
+        "--validate", action="store_true",
+        help="run the feasibility validator and report violations",
+    )
+    sch.set_defaults(func=commands.cmd_schedule)
+
+    sim = sub.add_parser(
+        "simulate", help="long-horizon monitoring simulation"
+    )
+    sim.add_argument(
+        "-a", "--algorithm", choices=_ALGORITHM_NAMES + ["Appro-Online"],
+        default="Appro",
+    )
+    sim.add_argument("-n", "--num-sensors", type=int, default=1000)
+    sim.add_argument("-k", "--num-chargers", type=int, default=2)
+    sim.add_argument("--days", type=float, default=60.0)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--b-max-kbps", type=float, default=50.0)
+    sim.set_defaults(func=commands.cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate a paper figure (tables + ASCII plots)"
+    )
+    bench.add_argument(
+        "figure", choices=["fig3", "fig4", "fig5"],
+        help="which evaluation figure to regenerate",
+    )
+    bench.add_argument("--instances", type=int, default=2)
+    bench.add_argument("--days", type=float, default=40.0)
+    bench.add_argument(
+        "--plot", action="store_true", help="also render ASCII plots"
+    )
+    bench.set_defaults(func=commands.cmd_bench)
+
+    cmp_ = sub.add_parser(
+        "compare", help="all five algorithms on one request batch"
+    )
+    cmp_.add_argument("-n", "--num-sensors", type=int, default=500)
+    cmp_.add_argument("-k", "--num-chargers", type=int, default=2)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.set_defaults(func=commands.cmd_compare)
+
+    rep = sub.add_parser(
+        "report",
+        help="run the full evaluation campaign and write a Markdown "
+        "report + JSON results",
+    )
+    rep.add_argument(
+        "-o", "--output-dir", default="evaluation-report",
+        help="directory for evaluation.md / evaluation.json",
+    )
+    rep.add_argument("--instances", type=int, default=2)
+    rep.add_argument("--days", type=float, default=40.0)
+    rep.add_argument(
+        "--figures", nargs="+", choices=["fig3", "fig4", "fig5"],
+        default=["fig3", "fig4", "fig5"],
+    )
+    rep.set_defaults(func=commands.cmd_report)
+
+    ins = sub.add_parser(
+        "inspect",
+        help="structural and load analysis of a stored instance",
+    )
+    ins.add_argument("instance", help="WRSN JSON (from 'generate')")
+    ins.add_argument("-k", "--num-chargers", type=int, default=2)
+    ins.add_argument(
+        "--threshold", type=float, default=1.0,
+        help="analyse the sensors below this residual fraction "
+        "(default: everyone)",
+    )
+    ins.set_defaults(func=commands.cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,36 @@
+"""The paper's core contribution.
+
+* :mod:`repro.core.schedule` — :class:`ChargingSchedule`: K depot-
+  rooted tours with per-stop residual charging durations ``τ'`` and
+  charging finish times (Eqs. 3–6, 10–12).
+* :mod:`repro.core.insertion` — the extension step of Algorithm 1:
+  latest-neighbour finish-time keys and case (i)/(ii) anchor selection
+  (Eqs. 7–9, 13).
+* :mod:`repro.core.appro` — Algorithm 1 (``Appro``) end to end.
+* :mod:`repro.core.validation` — feasibility validator for coverage,
+  node-disjointness and the no-simultaneous-charging constraint.
+* :mod:`repro.core.ratio` — the approximation-ratio machinery of
+  Section V (Lemma 2 bound on ``Δ_H``, Theorem 1 ratio, empirical
+  lower-bound certificates).
+"""
+
+from repro.core.appro import ApproArtifacts, appro_schedule
+from repro.core.ratio import (
+    approximation_ratio,
+    delta_h_bound,
+    empirical_lower_bound,
+)
+from repro.core.schedule import ChargingSchedule, Stop
+from repro.core.validation import ScheduleViolation, validate_schedule
+
+__all__ = [
+    "ApproArtifacts",
+    "ChargingSchedule",
+    "ScheduleViolation",
+    "Stop",
+    "appro_schedule",
+    "approximation_ratio",
+    "delta_h_bound",
+    "empirical_lower_bound",
+    "validate_schedule",
+]

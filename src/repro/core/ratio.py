@@ -1,0 +1,144 @@
+"""Approximation-ratio machinery (Section V).
+
+* :func:`delta_h_bound` — Lemma 2: the auxiliary graph's maximum degree
+  is at most ``⌈8π⌉ = 26`` for every instance, because all
+  ``H``-neighbours of a node sit in the annulus between radii ``γ`` and
+  ``2γ`` while being pairwise more than ``γ`` apart.
+* :func:`approximation_ratio` — Theorem 1:
+  ``ρ = 40π · (τ_max / τ_min) + 1``, instantiating the general bound
+  ``(1 + Δ_H · τ_max/τ_min) · 5`` with the Lemma 2 constant.
+* :func:`empirical_lower_bound` — instance-specific lower bounds on the
+  optimum, so a run can certify its own empirical ratio (always far
+  below the worst-case constant).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional
+
+from repro.energy.charging import ChargerSpec
+from repro.geometry.point import Point
+
+#: Lemma 2: ``Δ_H ≤ ⌈8π⌉``.
+DELTA_H_BOUND = math.ceil(8 * math.pi)
+
+#: Approximation factor of the K-optimal closed tour subroutine
+#: (Liang et al., ACM TOSN 2016).
+K_TOUR_FACTOR = 5
+
+
+def delta_h_bound() -> int:
+    """Lemma 2's universal bound on ``Δ_H`` (= 26)."""
+    return DELTA_H_BOUND
+
+
+def approximation_ratio(tau_max: float, tau_min: float) -> float:
+    """Theorem 1: the worst-case ratio ``40π · τ_max/τ_min + 1``.
+
+    Args:
+        tau_max: longest sojourn charging duration in the instance.
+        tau_min: shortest (positive) sojourn charging duration.
+
+    Raises:
+        ValueError: if ``tau_min`` is non-positive or exceeds
+            ``tau_max``.
+    """
+    if tau_min <= 0:
+        raise ValueError(f"tau_min must be positive, got {tau_min}")
+    if tau_max < tau_min:
+        raise ValueError(
+            f"tau_max ({tau_max}) must be at least tau_min ({tau_min})"
+        )
+    return 40 * math.pi * (tau_max / tau_min) + 1
+
+
+def ratio_from_delta(delta_h: int, tau_max: float, tau_min: float) -> float:
+    """Instance-specific ratio ``(1 + Δ_H · τ_max/τ_min) · 5`` using the
+    measured ``Δ_H`` instead of Lemma 2's worst case."""
+    if delta_h < 0:
+        raise ValueError(f"delta_h must be non-negative, got {delta_h}")
+    if tau_min <= 0:
+        raise ValueError(f"tau_min must be positive, got {tau_min}")
+    return (1 + delta_h * (tau_max / tau_min)) * K_TOUR_FACTOR
+
+
+def threshold_tau_ratio(request_threshold: float) -> float:
+    """The paper's closing observation: if every sensor requests at a
+    residual fraction below ``request_threshold``, then
+    ``τ_max/τ_min ≤ 1 / (1 − threshold)`` (e.g. 1.25 at 20 %)."""
+    if not 0.0 <= request_threshold < 1.0:
+        raise ValueError(
+            f"threshold must be in [0, 1), got {request_threshold}"
+        )
+    return 1.0 / (1.0 - request_threshold)
+
+
+def empirical_lower_bound(
+    request_positions: Mapping[int, Point],
+    charge_times: Mapping[int, float],
+    depot: Point,
+    charger: ChargerSpec,
+    num_chargers: int,
+) -> float:
+    """A valid lower bound on the optimal longest delay of an instance.
+
+    Combines two arguments, each valid for *any* feasible solution:
+
+    * **Reach** — some MCV must travel to within ``γ`` of the farthest
+      requesting sensor and back, and charge it:
+      ``max_v (2·max(0, d(depot,v) − γ)/s + t_v)``.
+    * **Packing work** — pick any subset ``P`` of sensors pairwise more
+      than ``2γ`` apart. No single sojourn disk (radius ``γ``) contains
+      two of them, so each ``p ∈ P`` forces a *distinct* stop whose
+      charging duration is at least ``t_p``; the K vehicles together
+      spend at least ``Σ_{p∈P} t_p`` charging, hence
+      ``OPT ≥ Σ_{p∈P} t_p / K``. We build ``P`` greedily, preferring
+      large ``t_p``.
+
+    Returns:
+        The lower bound in seconds (0 for an empty request set).
+    """
+    if num_chargers <= 0:
+        raise ValueError(f"num_chargers must be positive: {num_chargers}")
+    # Reach bound.
+    reach_bound = 0.0
+    for sid, pos in request_positions.items():
+        t_v = charge_times.get(sid, 0.0)
+        reach = max(0.0, depot.distance_to(pos) - charger.charge_radius_m)
+        bound = 2.0 * reach / charger.travel_speed_mps + t_v
+        if bound > reach_bound:
+            reach_bound = bound
+
+    # Packing work bound: greedy 2γ-separated packing, heaviest first.
+    separation = 2.0 * charger.charge_radius_m
+    chosen: list = []
+    packed_work = 0.0
+    by_weight = sorted(
+        request_positions,
+        key=lambda sid: charge_times.get(sid, 0.0),
+        reverse=True,
+    )
+    for sid in by_weight:
+        pos = request_positions[sid]
+        if all(
+            pos.distance_to(request_positions[other]) > separation
+            for other in chosen
+        ):
+            chosen.append(sid)
+            packed_work += charge_times.get(sid, 0.0)
+    packing_bound = packed_work / num_chargers
+
+    return max(reach_bound, packing_bound)
+
+
+def empirical_ratio(
+    achieved_delay: float,
+    lower_bound: float,
+) -> Optional[float]:
+    """``achieved / lower_bound``, or ``None`` for a zero bound."""
+    if achieved_delay < 0 or lower_bound < 0:
+        raise ValueError("delays must be non-negative")
+    if lower_bound == 0.0:
+        return None
+    return achieved_delay / lower_bound

@@ -1,0 +1,147 @@
+"""The NP-hardness reduction, made executable.
+
+The paper states (Section III-C) that the longest charge delay
+minimization problem is NP-hard "since the well-known NP-hard TSP
+problem can be reduced to it", omitting the proof. This module makes
+the reduction concrete so it can be *tested*:
+
+Given a Euclidean TSP instance (a depot and a set of cities), build the
+charging instance with
+
+* one sensor per city, all residuals equal to capacity (``t_v = 0`` —
+  charging takes no time, only travel matters),
+* a charging radius smaller than half the minimum pairwise distance,
+  so every charging disk is a singleton — no multi-node sharing, no
+  conflicts — and every sensor must be visited at its own location,
+* ``K = 1`` charger with unit speed.
+
+Then a feasible schedule is exactly a closed tour through all cities,
+and its longest delay equals the tour's travel length: the optimal
+longest delay *is* the optimal TSP tour length. Hence an exact
+polynomial solver for the charging problem would solve Euclidean TSP.
+
+:func:`tsp_to_charging_instance` builds the gadget;
+:func:`verify_reduction` checks the equivalence on a small instance
+with the exact solvers (used by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.energy.battery import Battery
+from repro.energy.charging import ChargerSpec
+from repro.geometry.deployment import Field, min_pairwise_distance
+from repro.geometry.point import Point
+from repro.network.nodes import BaseStation, Depot
+from repro.network.sensor import Sensor
+from repro.network.topology import WRSN
+
+
+@dataclass(frozen=True)
+class ReductionGadget:
+    """The charging instance encoding a TSP instance."""
+
+    network: WRSN
+    charger: ChargerSpec
+    depot: Point
+
+    @property
+    def request_ids(self) -> List[int]:
+        return self.network.all_sensor_ids()
+
+
+def tsp_to_charging_instance(
+    cities: Sequence[Point],
+    depot: Point,
+    speed_mps: float = 1.0,
+) -> ReductionGadget:
+    """Encode a Euclidean TSP instance as a charging instance.
+
+    Args:
+        cities: the TSP cities (at least one; pairwise distinct and
+            distinct from the depot).
+        depot: the TSP tour's start/end; becomes the MCV depot.
+        speed_mps: vehicle speed (scales delays uniformly).
+
+    Returns:
+        A :class:`ReductionGadget` whose optimal longest charge delay
+        equals the optimal TSP tour length divided by ``speed_mps``.
+
+    Raises:
+        ValueError: on an empty city list or coincident points (the
+            gadget needs singleton disks).
+    """
+    points = list(cities)
+    if not points:
+        raise ValueError("a TSP instance needs at least one city")
+    min_dist = min_pairwise_distance(list(points) + [depot])
+    if min_dist <= 0.0:
+        raise ValueError(
+            "cities (and the depot) must be pairwise distinct"
+        )
+    # Radius strictly below half the minimum distance: disks are
+    # singletons and no two sojourn locations can ever conflict.
+    radius = (
+        min(min_dist / 4.0, 2.7) if min_dist != float("inf") else 2.7
+    )
+
+    max_x = max([p.x for p in points] + [depot.x]) + 1.0
+    max_y = max([p.y for p in points] + [depot.y]) + 1.0
+    sensors = [
+        Sensor(
+            id=i,
+            position=p,
+            # Full battery: t_v = 0, only travel contributes.
+            battery=Battery(capacity_j=10_800.0, level_j=10_800.0),
+            data_rate_bps=0.0,
+        )
+        for i, p in enumerate(points)
+    ]
+    network = WRSN(
+        sensors=sensors,
+        base_station=BaseStation(position=depot),
+        depot=Depot(position=depot),
+        field=Field(width=max_x, height=max_y),
+    )
+    charger = ChargerSpec(
+        charge_rate_w=2.0,
+        charge_radius_m=radius,
+        travel_speed_mps=speed_mps,
+    )
+    return ReductionGadget(network=network, charger=charger, depot=depot)
+
+
+def verify_reduction(
+    cities: Sequence[Point],
+    depot: Point,
+) -> Tuple[float, float]:
+    """Check the reduction on a small instance with exact solvers.
+
+    Solves the TSP side with Held–Karp and the charging side with the
+    exact min-max solver (K = 1, zero service), both on the gadget.
+
+    Returns:
+        ``(tsp_optimum, charging_optimum)`` — equal up to float noise
+        when the reduction is correct.
+
+    Raises:
+        ValueError: if the instance exceeds the exact solvers' limits.
+    """
+    from repro.tours.exact import exact_k_minmax, held_karp_tsp
+
+    gadget = tsp_to_charging_instance(cities, depot)
+    positions = gadget.network.positions()
+    node_ids = gadget.request_ids
+
+    _, tsp_length = held_karp_tsp(node_ids, positions, depot)
+
+    # On the gadget every stop is a singleton disk with zero charging
+    # time, so the charging optimum is the min-max 1-tour optimum with
+    # zero service.
+    _, charging_opt = exact_k_minmax(
+        node_ids, positions, depot, 1,
+        gadget.charger.travel_speed_mps, lambda v: 0.0,
+    )
+    return tsp_length / gadget.charger.travel_speed_mps, charging_opt

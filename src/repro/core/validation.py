@@ -1,0 +1,187 @@
+"""Feasibility validation of charging schedules.
+
+A schedule is feasible (Definition 1) when:
+
+1. **Coverage** — every requested sensor lies in the charging disk of
+   some scheduled stop and has a responsible stop.
+2. **Node-disjointness** — every sojourn location appears on at most
+   one tour, at most once (tours share only the depot).
+3. **No simultaneous charging** — no two stops on *different* tours
+   both (a) have intersecting charging disks and (b) have charging
+   intervals overlapping for positive duration. (Two stops on the same
+   tour are served sequentially by one MCV and can never conflict.)
+
+:func:`validate_schedule` returns the violations it finds rather than
+raising, so tests, benchmarks and the conflict-resolution pass can all
+consume the same report. :func:`resolve_conflicts` is the minimal
+repair: delay the later-arriving stop of each conflicting pair until
+the earlier one finishes, iterating to a fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import ChargingSchedule
+
+#: Positive-length overlap shorter than this is treated as touching.
+_OVERLAP_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduleViolation:
+    """One feasibility defect found by the validator.
+
+    Attributes:
+        kind: ``"coverage"``, ``"disjointness"`` or ``"overlap"``.
+        detail: human-readable description.
+        nodes: the stops / sensors involved.
+    """
+
+    kind: str
+    detail: str
+    nodes: Tuple[int, ...]
+
+
+def _interval_overlap(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> float:
+    """Length of the intersection of two closed intervals."""
+    return min(a[1], b[1]) - max(a[0], b[0])
+
+
+def conflicting_pairs(
+    schedule: ChargingSchedule,
+) -> List[Tuple[int, int, float]]:
+    """All cross-tour stop pairs violating the no-overlap constraint.
+
+    Returns ``(u, v, overlap_seconds)`` triples where ``u`` and ``v``
+    are stops on different tours with intersecting disks and
+    positively-overlapping charging intervals.
+    """
+    stops = schedule.scheduled_stops()
+    out: List[Tuple[int, int, float]] = []
+    for i, u in enumerate(stops):
+        for v in stops[i + 1 :]:
+            if schedule.tour_of[u] == schedule.tour_of[v]:
+                continue
+            if not (schedule.coverage[u] & schedule.coverage[v]):
+                continue
+            overlap = _interval_overlap(
+                schedule.stop_interval(u), schedule.stop_interval(v)
+            )
+            if overlap > _OVERLAP_EPS:
+                out.append((u, v, overlap))
+    return out
+
+
+def validate_schedule(
+    schedule: ChargingSchedule,
+    required_sensors: Iterable[int],
+) -> List[ScheduleViolation]:
+    """Check all three feasibility conditions.
+
+    Args:
+        schedule: the schedule to validate.
+        required_sensors: the request set ``V_s`` that must be covered.
+
+    Returns:
+        All violations found; an empty list means the schedule is
+        feasible.
+    """
+    violations: List[ScheduleViolation] = []
+
+    # 1. Coverage.
+    covered = schedule.covered_sensors()
+    missing = sorted(set(required_sensors) - covered)
+    for sensor in missing:
+        violations.append(
+            ScheduleViolation(
+                kind="coverage",
+                detail=f"sensor {sensor} has no responsible stop",
+                nodes=(sensor,),
+            )
+        )
+
+    # 2. Node-disjointness.
+    seen = {}
+    for k, tour in enumerate(schedule.tours):
+        for node in tour:
+            if node in seen:
+                violations.append(
+                    ScheduleViolation(
+                        kind="disjointness",
+                        detail=(
+                            f"stop {node} appears on tours {seen[node]} "
+                            f"and {k}"
+                        ),
+                        nodes=(node,),
+                    )
+                )
+            seen[node] = k
+
+    # 3. No simultaneous charging.
+    for u, v, overlap in conflicting_pairs(schedule):
+        shared = sorted(schedule.coverage[u] & schedule.coverage[v])
+        violations.append(
+            ScheduleViolation(
+                kind="overlap",
+                detail=(
+                    f"stops {u} (tour {schedule.tour_of[u]}) and {v} "
+                    f"(tour {schedule.tour_of[v]}) share sensors {shared} "
+                    f"and overlap for {overlap:.3f}s"
+                ),
+                nodes=(u, v),
+            )
+        )
+    return violations
+
+
+def resolve_conflicts(
+    schedule: ChargingSchedule, max_rounds: int = 1000
+) -> int:
+    """Repair overlap violations by inserting waits.
+
+    Repeatedly finds the conflicting pair whose later stop starts
+    earliest, and delays that stop until the earlier one finishes.
+    Waits only ever push intervals later, so the process terminates:
+    each round strictly orders one conflicting pair and never reorders
+    an already-separated one on the same tours... in pathological cases
+    the round limit guards against livelock.
+
+    Returns:
+        The number of waits inserted.
+
+    Raises:
+        RuntimeError: if conflicts remain after ``max_rounds`` rounds.
+    """
+    inserted = 0
+    for _ in range(max_rounds):
+        conflicts = conflicting_pairs(schedule)
+        if not conflicts:
+            return inserted
+        # Deterministic order: fix the earliest-starting conflict first.
+        def start_of(pair):
+            u, v, _ = pair
+            su = schedule.stop_interval(u)[0]
+            sv = schedule.stop_interval(v)[0]
+            return (max(su, sv), min(u, v))
+
+        u, v, _ = min(conflicts, key=start_of)
+        su, fu = schedule.stop_interval(u)
+        sv, fv = schedule.stop_interval(v)
+        # Delay the later-starting stop past the earlier one's finish.
+        if su <= sv:
+            earlier, later = u, v
+            needed = fu - sv
+        else:
+            earlier, later = v, u
+            needed = fv - su
+        schedule.add_wait(later, needed + _OVERLAP_EPS)
+        inserted += 1
+    if conflicting_pairs(schedule):
+        raise RuntimeError(
+            f"conflict resolution did not converge in {max_rounds} rounds"
+        )
+    return inserted

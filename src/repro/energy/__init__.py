@@ -1,0 +1,33 @@
+"""Energy substrate: batteries, consumption model, charging math.
+
+* :mod:`repro.energy.battery` — rechargeable battery state with
+  capacity, residual level and threshold tests (the paper's 20 %
+  charging-request threshold).
+* :mod:`repro.energy.consumption` — a first-order radio model with
+  relay load, reproducing the qualitative load distribution of the
+  Li–Mohapatra energy-hole model the paper's evaluation cites.
+* :mod:`repro.energy.charging` — the charging-time arithmetic of
+  Eqs. (1)–(2): full-charge durations and multi-node sojourn bounds.
+"""
+
+from repro.energy.battery import Battery
+from repro.energy.charging import (
+    ChargerSpec,
+    full_charge_time,
+    sojourn_time_bound,
+)
+from repro.energy.consumption import (
+    RadioModel,
+    sensor_power_draw,
+    total_load_bps,
+)
+
+__all__ = [
+    "Battery",
+    "ChargerSpec",
+    "RadioModel",
+    "full_charge_time",
+    "sensor_power_draw",
+    "sojourn_time_bound",
+    "total_load_bps",
+]

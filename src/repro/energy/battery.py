@@ -1,0 +1,110 @@
+"""Rechargeable sensor battery model.
+
+The paper equips every sensor with a battery of capacity
+``C_v = 10.8 kJ`` and triggers a charging request when the residual
+energy falls below a threshold (20 % of capacity in the evaluation).
+:class:`Battery` tracks the residual level in joules and exposes the
+deplete / recharge operations the simulator drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Battery capacity used throughout the paper's evaluation (Section VI-A).
+DEFAULT_CAPACITY_J = 10_800.0
+
+#: Residual-energy fraction below which a sensor requests charging.
+DEFAULT_REQUEST_THRESHOLD = 0.2
+
+
+@dataclass
+class Battery:
+    """Mutable battery state of a single sensor.
+
+    Attributes:
+        capacity_j: full capacity ``C_v`` in joules.
+        level_j: current residual energy ``RE_v`` in joules.
+    """
+
+    capacity_j: float = DEFAULT_CAPACITY_J
+    level_j: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_j}")
+        if self.level_j < 0:  # default: start full
+            self.level_j = self.capacity_j
+        if self.level_j > self.capacity_j:
+            raise ValueError(
+                f"level {self.level_j} J exceeds capacity {self.capacity_j} J"
+            )
+
+    @property
+    def fraction(self) -> float:
+        """Residual energy as a fraction of capacity, in ``[0, 1]``."""
+        return self.level_j / self.capacity_j
+
+    @property
+    def deficit_j(self) -> float:
+        """Energy needed to reach full capacity, ``C_v - RE_v``."""
+        return self.capacity_j - self.level_j
+
+    def is_depleted(self) -> bool:
+        """Whether the battery is empty (the sensor is dead)."""
+        return self.level_j <= 0.0
+
+    def below_threshold(self, threshold: float = DEFAULT_REQUEST_THRESHOLD) -> bool:
+        """Whether the residual fraction is below ``threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        return self.fraction < threshold
+
+    def deplete(self, energy_j: float) -> float:
+        """Drain ``energy_j`` joules, clamping at empty.
+
+        Returns:
+            The energy actually drained (less than ``energy_j`` when the
+            battery empties first).
+        """
+        if energy_j < 0:
+            raise ValueError(f"cannot deplete a negative amount: {energy_j}")
+        drained = min(energy_j, self.level_j)
+        self.level_j -= drained
+        return drained
+
+    def recharge(self, energy_j: float) -> float:
+        """Add ``energy_j`` joules, clamping at capacity.
+
+        Returns:
+            The energy actually absorbed.
+        """
+        if energy_j < 0:
+            raise ValueError(f"cannot recharge a negative amount: {energy_j}")
+        absorbed = min(energy_j, self.deficit_j)
+        self.level_j += absorbed
+        return absorbed
+
+    def recharge_full(self) -> float:
+        """Charge to full capacity; returns the energy absorbed."""
+        return self.recharge(self.deficit_j)
+
+    def time_until_fraction(self, fraction: float, power_draw_w: float) -> float:
+        """Seconds of constant ``power_draw_w`` until the level reaches
+        ``fraction`` of capacity.
+
+        Returns ``0.0`` if already at or below the target fraction, and
+        ``inf`` if the power draw is zero.
+        """
+        if power_draw_w < 0:
+            raise ValueError(f"power draw must be non-negative: {power_draw_w}")
+        target_j = fraction * self.capacity_j
+        if self.level_j <= target_j:
+            return 0.0
+        if power_draw_w == 0.0:
+            return float("inf")
+        return (self.level_j - target_j) / power_draw_w
+
+    def copy(self) -> "Battery":
+        """An independent copy of this battery's state."""
+        return Battery(capacity_j=self.capacity_j, level_j=self.level_j)

@@ -1,0 +1,102 @@
+"""Charging-time arithmetic and mobile-charger parameters.
+
+Implements the paper's Eqs. (1) and (2):
+
+* Eq. (1): the time to charge sensor ``v`` to full is
+  ``t_v = (C_v - RE_v) / η`` where ``η`` is the charger's rate.
+* Eq. (2): an MCV sojourning at location ``v`` must stay
+  ``τ(v) = max{t_u : u ∈ N_c⁺(v)}`` so every sensor in its charging
+  disk finishes.
+
+:class:`ChargerSpec` bundles the three MCV parameters the paper uses —
+charging rate ``η`` (2 W), charging radius ``γ`` (2.7 m) and travel
+speed ``s`` (1 m/s) — so they travel together through every API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.geometry.point import PointLike
+from repro.geometry.distance import euclidean
+
+#: Paper defaults (Section VI-A).
+DEFAULT_CHARGE_RATE_W = 2.0
+DEFAULT_CHARGE_RADIUS_M = 2.7
+DEFAULT_TRAVEL_SPEED_MPS = 1.0
+
+
+@dataclass(frozen=True)
+class ChargerSpec:
+    """Parameters of one homogeneous mobile charging vehicle (MCV)."""
+
+    charge_rate_w: float = DEFAULT_CHARGE_RATE_W
+    charge_radius_m: float = DEFAULT_CHARGE_RADIUS_M
+    travel_speed_mps: float = DEFAULT_TRAVEL_SPEED_MPS
+
+    def __post_init__(self) -> None:
+        if self.charge_rate_w <= 0:
+            raise ValueError(f"charge rate must be positive: {self.charge_rate_w}")
+        if self.charge_radius_m <= 0:
+            raise ValueError(
+                f"charge radius must be positive: {self.charge_radius_m}"
+            )
+        if self.travel_speed_mps <= 0:
+            raise ValueError(
+                f"travel speed must be positive: {self.travel_speed_mps}"
+            )
+
+    def travel_time(self, a: PointLike, b: PointLike) -> float:
+        """Seconds for the MCV to travel from ``a`` to ``b``."""
+        return euclidean(a, b) / self.travel_speed_mps
+
+
+def full_charge_time(
+    capacity_j: float, residual_j: float, charge_rate_w: float = DEFAULT_CHARGE_RATE_W
+) -> float:
+    """Eq. (1): seconds to charge a sensor from ``residual_j`` to full.
+
+    Raises:
+        ValueError: on a negative residual, a residual above capacity,
+            or a non-positive rate.
+    """
+    if charge_rate_w <= 0:
+        raise ValueError(f"charge rate must be positive: {charge_rate_w}")
+    if residual_j < 0:
+        raise ValueError(f"residual energy must be non-negative: {residual_j}")
+    if residual_j > capacity_j:
+        raise ValueError(
+            f"residual {residual_j} J exceeds capacity {capacity_j} J"
+        )
+    return (capacity_j - residual_j) / charge_rate_w
+
+
+def sojourn_time_bound(charge_times: Iterable[float]) -> float:
+    """Eq. (2): ``τ(v) = max`` of the full-charge times in the disk.
+
+    ``charge_times`` are the ``t_u`` values of the sensors in
+    ``N_c⁺(v)``. An empty disk (nothing left to charge) yields 0.
+    """
+    bound = 0.0
+    for t in charge_times:
+        if t < 0:
+            raise ValueError(f"charge times must be non-negative, got {t}")
+        if t > bound:
+            bound = t
+    return bound
+
+
+def charge_times_for(
+    sensors: Iterable,
+    charge_rate_w: float = DEFAULT_CHARGE_RATE_W,
+) -> Mapping:
+    """Map each sensor object to its Eq. (1) full-charge time.
+
+    ``sensors`` must expose ``id`` and a ``battery`` with ``capacity_j``
+    and ``level_j`` (the :class:`repro.network.sensor.Sensor` shape).
+    """
+    return {
+        s.id: full_charge_time(s.battery.capacity_j, s.battery.level_j, charge_rate_w)
+        for s in sensors
+    }

@@ -1,0 +1,117 @@
+"""Sensor energy-consumption model.
+
+The paper's evaluation "adopts a real sensor energy consumption model
+from [Li & Mohapatra 2007]" — the energy-hole analysis in which sensors
+closer to the base station relay traffic for the rest of the network
+and therefore deplete faster. We reproduce that behaviour with the
+standard first-order radio model:
+
+* transmitting ``b`` bits over distance ``d`` costs
+  ``b * (e_elec + e_amp * d**alpha)`` joules,
+* receiving ``b`` bits costs ``b * e_elec`` joules,
+* sensing adds a constant per-bit cost ``e_sense``.
+
+A sensor's *load* is its own sensing rate plus the rates of every
+descendant routing through it on the shortest-path tree to the base
+station (computed in :mod:`repro.network.routing`). Power draw is then
+a deterministic function of load and next-hop distance, which lets the
+simulator compute depletion times in closed form instead of ticking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class RadioModel:
+    """First-order radio energy parameters.
+
+    The constants follow the shape of the classic first-order model
+    (Heinzelman et al.: ~50 nJ/bit electronics, ~100 pJ/bit/m²
+    free-space amplifier), scaled to 0.5x so that the paper's
+    evaluation regime is reproduced: at ``n = 1000`` sensors and
+    ``b_max = 50 kbps`` the network's total recharge demand sits just
+    above the one-to-one service capacity of ``K = 2`` chargers. That
+    is the operating point the paper's figures imply — the one-to-one
+    baselines saturate and accumulate dead time while the multi-node
+    ``Appro`` keeps up — and the absolute constants of the cited
+    consumption model are not given in the paper. See EXPERIMENTS.md
+    for the calibration.
+    """
+
+    e_elec_j_per_bit: float = 25e-9
+    e_amp_j_per_bit_m: float = 50e-12
+    path_loss_exponent: float = 2.0
+    e_sense_j_per_bit: float = 2.5e-9
+    idle_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.e_elec_j_per_bit, self.e_amp_j_per_bit_m,
+               self.e_sense_j_per_bit) < 0:
+            raise ValueError("radio energy constants must be non-negative")
+        if self.path_loss_exponent < 1.0:
+            raise ValueError(
+                f"path loss exponent must be >= 1, got {self.path_loss_exponent}"
+            )
+        if self.idle_power_w < 0:
+            raise ValueError("idle power must be non-negative")
+
+    def tx_energy_per_bit(self, distance_m: float) -> float:
+        """Joules to transmit one bit over ``distance_m`` metres."""
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative, got {distance_m}")
+        return (
+            self.e_elec_j_per_bit
+            + self.e_amp_j_per_bit_m * distance_m**self.path_loss_exponent
+        )
+
+    def rx_energy_per_bit(self) -> float:
+        """Joules to receive one bit."""
+        return self.e_elec_j_per_bit
+
+
+def total_load_bps(own_rate_bps: float, relayed_rate_bps: float) -> float:
+    """Total outgoing traffic of a sensor in bits per second."""
+    if own_rate_bps < 0 or relayed_rate_bps < 0:
+        raise ValueError("rates must be non-negative")
+    return own_rate_bps + relayed_rate_bps
+
+
+def sensor_power_draw(
+    model: RadioModel,
+    own_rate_bps: float,
+    relayed_rate_bps: float,
+    next_hop_distance_m: float,
+) -> float:
+    """Steady-state power draw of a sensor in watts.
+
+    The sensor senses at ``own_rate_bps``, receives ``relayed_rate_bps``
+    from its routing-tree children, and transmits the sum over
+    ``next_hop_distance_m`` to its parent. Constant rates give constant
+    power, so battery depletion is linear in time — exactly the
+    property the closed-form simulator relies on.
+    """
+    out_bps = total_load_bps(own_rate_bps, relayed_rate_bps)
+    sensing_w = own_rate_bps * model.e_sense_j_per_bit
+    rx_w = relayed_rate_bps * model.rx_energy_per_bit()
+    tx_w = out_bps * model.tx_energy_per_bit(next_hop_distance_m)
+    return sensing_w + rx_w + tx_w + model.idle_power_w
+
+
+def lifetime_seconds(
+    residual_j: float,
+    power_draw_w: float,
+) -> float:
+    """Seconds until a battery with ``residual_j`` joules empties.
+
+    Returns ``inf`` for a zero draw.
+    """
+    if residual_j < 0:
+        raise ValueError(f"residual energy must be non-negative: {residual_j}")
+    if power_draw_w < 0:
+        raise ValueError(f"power draw must be non-negative: {power_draw_w}")
+    if power_draw_w == 0.0:
+        return float("inf")
+    return residual_j / power_draw_w

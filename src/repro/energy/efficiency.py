@@ -1,0 +1,108 @@
+"""Distance-aware charging efficiency (beyond-the-paper extension).
+
+The paper assumes a sensor anywhere inside the charging radius ``γ``
+receives the full charger rate ``η``. Physically, received power decays
+with distance from the transmitter coil; the multi-node charging
+literature (e.g. the paper's reference [18], Ma et al.) models the
+received power of a sensor at distance ``d`` as a decreasing function
+``η · eff(d)`` with ``eff(0) = 1`` and ``eff(γ) > 0``.
+
+This module provides pluggable efficiency models and the pairwise
+charge-time function they induce:
+
+``t(u at stop v) = (C_u − RE_u) / (η · eff(d(u, v)))``
+
+The core scheduler accepts such a pairwise function (see
+:func:`repro.core.appro.appro_schedule`'s ``efficiency`` parameter);
+under the constant model everything reduces exactly to the paper's
+Eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol
+
+from repro.energy.charging import ChargerSpec
+from repro.geometry.distance import euclidean
+from repro.geometry.point import Point
+
+
+class EfficiencyModel(Protocol):
+    """Received-power fraction as a function of charger distance."""
+
+    def efficiency(self, distance_m: float) -> float:
+        """Fraction of ``η`` received at ``distance_m`` (in (0, 1])."""
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantEfficiency:
+    """The paper's model: full rate anywhere inside the disk."""
+
+    def efficiency(self, distance_m: float) -> float:
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative: {distance_m}")
+        return 1.0
+
+
+@dataclass(frozen=True)
+class QuadraticDecay:
+    """Quadratic efficiency decay, floored at the disk boundary.
+
+    ``eff(d) = 1 − (1 − floor) · (d / radius)²`` — full rate at the
+    stop itself, ``floor`` of the rate at distance ``radius``. The
+    quadratic shape follows the inverse-square character of radiated
+    power over the short ranges involved.
+
+    Attributes:
+        radius_m: the charging radius ``γ``.
+        floor: efficiency at the boundary, in (0, 1].
+    """
+
+    radius_m: float = 2.7
+    floor: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError(f"radius must be positive: {self.radius_m}")
+        if not 0.0 < self.floor <= 1.0:
+            raise ValueError(f"floor must be in (0, 1]: {self.floor}")
+
+    def efficiency(self, distance_m: float) -> float:
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative: {distance_m}")
+        # Clamp beyond the radius to the boundary value; the scheduler
+        # never charges outside the disk anyway.
+        frac = min(distance_m / self.radius_m, 1.0)
+        return 1.0 - (1.0 - self.floor) * frac * frac
+
+
+def pairwise_charge_time_fn(
+    positions: Mapping[int, Point],
+    deficits_j: Mapping[int, float],
+    charger: ChargerSpec,
+    model: EfficiencyModel,
+) -> Callable[[int, int], float]:
+    """Build ``(sensor, stop) -> charge seconds`` under a model.
+
+    Args:
+        positions: id -> position for sensors and stops.
+        deficits_j: per-sensor energy deficit ``C_u − RE_u``.
+        charger: supplies the nominal rate ``η``.
+        model: the efficiency model.
+
+    Returns:
+        A function mapping ``(sensor_id, stop_id)`` to the seconds the
+        stop must charge for that sensor to fill up.
+    """
+
+    def charge_time(sensor_id: int, stop_id: int) -> float:
+        deficit = deficits_j[sensor_id]
+        if deficit <= 0:
+            return 0.0
+        d = euclidean(positions[sensor_id], positions[stop_id])
+        eff = model.efficiency(d)
+        return deficit / (charger.charge_rate_w * eff)
+
+    return charge_time

@@ -1,0 +1,66 @@
+"""Charging policies: full vs partial charging.
+
+The paper charges every requested sensor to *full* capacity
+(Eq. (1)). The adjacent literature (Liang et al., IEEE/ACM ToN 2017 —
+the paper's reference [15]) also studies the *partial charging model*,
+where a charger tops a sensor up to a target fraction and moves on:
+rounds shorten, requests recur sooner. :class:`ChargingPolicy`
+abstracts that choice so the simulator and benchmarks can compare both
+regimes (see ``benchmarks/test_ablation_policy.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.charging import full_charge_time
+
+
+@dataclass(frozen=True)
+class ChargingPolicy:
+    """How full a sensor is charged per visit.
+
+    Attributes:
+        target_fraction: battery fraction to charge up to (1.0 = the
+            paper's full-charging model).
+    """
+
+    target_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_fraction <= 1.0:
+            raise ValueError(
+                f"target fraction must be in (0, 1], got "
+                f"{self.target_fraction}"
+            )
+
+    @property
+    def is_full(self) -> bool:
+        return self.target_fraction >= 1.0
+
+    def target_level_j(self, capacity_j: float) -> float:
+        """Battery level a visit charges up to."""
+        return self.target_fraction * capacity_j
+
+    def charge_time(
+        self, capacity_j: float, residual_j: float, charge_rate_w: float
+    ) -> float:
+        """Seconds to charge from ``residual_j`` to the policy target.
+
+        Zero when the sensor is already at or above the target.
+        """
+        target = self.target_level_j(capacity_j)
+        if residual_j >= target:
+            return 0.0
+        # Charging from residual to target at the charger's rate; the
+        # full-charging special case reduces to Eq. (1).
+        return full_charge_time(target, residual_j, charge_rate_w)
+
+
+#: The paper's model.
+FULL_CHARGE = ChargingPolicy(target_fraction=1.0)
+
+#: A common partial-charging configuration (e.g. 80% target keeps
+#: sensors out of the slow constant-voltage tail in real batteries and
+#: shortens rounds at the cost of more frequent requests).
+PARTIAL_80 = ChargingPolicy(target_fraction=0.8)

@@ -1,0 +1,39 @@
+"""Planar geometry substrate for WRSN deployments.
+
+Provides the 2-D primitives the rest of the library builds on: points
+and Euclidean distances (:mod:`repro.geometry.point`,
+:mod:`repro.geometry.distance`), random sensor deployments over a
+rectangular field (:mod:`repro.geometry.deployment`) and a uniform grid
+spatial index for fast fixed-radius neighbour queries
+(:mod:`repro.geometry.grid_index`).
+"""
+
+from repro.geometry.deployment import (
+    Field,
+    clustered_deployment,
+    grid_deployment,
+    uniform_deployment,
+)
+from repro.geometry.distance import (
+    euclidean,
+    pairwise_distances,
+    path_length,
+    tour_length,
+)
+from repro.geometry.grid_index import GridIndex
+from repro.geometry.point import Point, as_point, centroid
+
+__all__ = [
+    "Field",
+    "GridIndex",
+    "Point",
+    "as_point",
+    "centroid",
+    "clustered_deployment",
+    "euclidean",
+    "grid_deployment",
+    "pairwise_distances",
+    "path_length",
+    "tour_length",
+    "uniform_deployment",
+]

@@ -1,0 +1,147 @@
+"""Sensor deployment generators over a rectangular field.
+
+The paper deploys 200–1200 sensors uniformly at random in a
+100 × 100 m² square. :func:`uniform_deployment` reproduces that;
+:func:`clustered_deployment` and :func:`grid_deployment` provide the
+two other spatial regimes commonly used to stress charger scheduling
+(hot-spot clusters and regular grids) for the extension experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Field:
+    """Axis-aligned rectangular monitoring field, in metres."""
+
+    width: float = 100.0
+    height: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"field dimensions must be positive, got {self.width}x{self.height}"
+            )
+
+    @property
+    def center(self) -> Point:
+        """The geometric center — where the paper places depot and BS."""
+        return Point(self.width / 2.0, self.height / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the field (boundary inclusive)."""
+        return 0.0 <= point.x <= self.width and 0.0 <= point.y <= self.height
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the field."""
+        return Point(
+            min(max(point.x, 0.0), self.width),
+            min(max(point.y, 0.0), self.height),
+        )
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform_deployment(
+    num_sensors: int, field: Field = Field(), seed: Optional[int] = None
+) -> List[Point]:
+    """Deploy ``num_sensors`` points i.i.d. uniformly over ``field``.
+
+    This is the deployment model of the paper's evaluation
+    (Section VI-A).
+    """
+    if num_sensors < 0:
+        raise ValueError(f"num_sensors must be non-negative, got {num_sensors}")
+    rng = _rng(seed)
+    xs = rng.uniform(0.0, field.width, num_sensors)
+    ys = rng.uniform(0.0, field.height, num_sensors)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def clustered_deployment(
+    num_sensors: int,
+    num_clusters: int,
+    field: Field = Field(),
+    cluster_std: float = 5.0,
+    seed: Optional[int] = None,
+) -> List[Point]:
+    """Deploy points around ``num_clusters`` random hot-spot centers.
+
+    Each sensor picks a cluster uniformly, then a Gaussian offset with
+    standard deviation ``cluster_std`` metres, clamped to the field.
+    Clustered deployments make multi-node charging far more profitable
+    (many sensors per charging disk), which is the regime the paper's
+    introduction motivates.
+    """
+    if num_clusters <= 0:
+        raise ValueError(f"num_clusters must be positive, got {num_clusters}")
+    if cluster_std < 0:
+        raise ValueError(f"cluster_std must be non-negative, got {cluster_std}")
+    rng = _rng(seed)
+    centers = rng.uniform(
+        low=(0.0, 0.0), high=(field.width, field.height), size=(num_clusters, 2)
+    )
+    assignments = rng.integers(0, num_clusters, num_sensors)
+    offsets = rng.normal(0.0, cluster_std, size=(num_sensors, 2))
+    points = []
+    for k, off in zip(assignments, offsets):
+        raw = Point(float(centers[k][0] + off[0]), float(centers[k][1] + off[1]))
+        points.append(field.clamp(raw))
+    return points
+
+
+def grid_deployment(
+    num_sensors: int, field: Field = Field(), jitter: float = 0.0,
+    seed: Optional[int] = None,
+) -> List[Point]:
+    """Deploy points on a near-square grid covering the field.
+
+    ``jitter`` adds uniform noise in ``[-jitter, jitter]`` per axis,
+    clamped to the field, to break exact collinearity when needed.
+    Returns exactly ``num_sensors`` points (the last grid row may be
+    partial).
+    """
+    if num_sensors < 0:
+        raise ValueError(f"num_sensors must be non-negative, got {num_sensors}")
+    if num_sensors == 0:
+        return []
+    cols = int(math.ceil(math.sqrt(num_sensors)))
+    rows = int(math.ceil(num_sensors / cols))
+    dx = field.width / (cols + 1)
+    dy = field.height / (rows + 1)
+    rng = _rng(seed)
+    points: List[Point] = []
+    for idx in range(num_sensors):
+        r, c = divmod(idx, cols)
+        x = (c + 1) * dx
+        y = (r + 1) * dy
+        if jitter > 0:
+            x += float(rng.uniform(-jitter, jitter))
+            y += float(rng.uniform(-jitter, jitter))
+        points.append(field.clamp(Point(x, y)))
+    return points
+
+
+def min_pairwise_distance(points: Sequence[Point]) -> float:
+    """Smallest pairwise distance in a deployment (``inf`` if < 2 points).
+
+    Useful for sanity-checking that generated instances satisfy
+    geometric preconditions (e.g. distinct sojourn locations).
+    """
+    best = math.inf
+    for i, a in enumerate(points):
+        for b in points[i + 1:]:
+            d = a.distance_to(b)
+            if d < best:
+                best = d
+    return best

@@ -1,0 +1,54 @@
+"""Euclidean distance helpers used throughout the library.
+
+All distances are in metres. The functions accept anything unpackable
+as ``(x, y)`` — :class:`repro.geometry.point.Point`, tuples, or numpy
+rows — so callers never need explicit conversions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import PointLike
+
+
+def euclidean(a: PointLike, b: PointLike) -> float:
+    """Euclidean distance between two planar points."""
+    ax, ay = a
+    bx, by = b
+    return math.hypot(ax - bx, ay - by)
+
+
+def pairwise_distances(points: Sequence[PointLike]) -> np.ndarray:
+    """Dense ``n x n`` matrix of pairwise Euclidean distances.
+
+    Vectorised with numpy; used by tour construction over candidate
+    sojourn locations where ``n`` stays small (hundreds).
+    """
+    coords = np.asarray([(p[0], p[1]) for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
+def path_length(points: Sequence[PointLike]) -> float:
+    """Total length of the open polyline through ``points`` in order."""
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        total += euclidean(a, b)
+    return total
+
+
+def tour_length(points: Sequence[PointLike]) -> float:
+    """Total length of the closed tour through ``points`` in order.
+
+    The closing edge from the last point back to the first is included.
+    A tour of fewer than two points has length zero.
+    """
+    if len(points) < 2:
+        return 0.0
+    return path_length(points) + euclidean(points[-1], points[0])

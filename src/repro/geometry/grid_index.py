@@ -1,0 +1,90 @@
+"""Uniform grid spatial index for fixed-radius neighbour queries.
+
+Building the charging graph ``G_c`` requires, for each of up to ~1200
+sensors, all other sensors within the charging radius ``γ``. A naive
+all-pairs scan is O(n²); the :class:`GridIndex` buckets points into
+square cells of side ``cell_size`` so a radius-``r`` query only visits
+the O((r / cell_size + 2)²) cells around the query point.
+
+The index is immutable after construction, matching its use: WRSN
+deployments are static for the lifetime of a scheduling instance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import PointLike
+
+_Cell = Tuple[int, int]
+
+
+class GridIndex:
+    """Bucket-grid over labelled planar points.
+
+    Args:
+        points: mapping from an arbitrary hashable label (typically a
+            sensor id) to its ``(x, y)`` position.
+        cell_size: side length of a grid cell in metres. A good choice
+            is the most common query radius; queries with other radii
+            remain correct, only the constant factor changes.
+    """
+
+    def __init__(self, points: Mapping[Hashable, PointLike], cell_size: float):
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._cell_size = float(cell_size)
+        self._positions: Dict[Hashable, Tuple[float, float]] = {}
+        self._cells: Dict[_Cell, List[Hashable]] = {}
+        for label, pos in points.items():
+            x, y = pos
+            self._positions[label] = (float(x), float(y))
+            self._cells.setdefault(self._cell_of(x, y), []).append(label)
+
+    def _cell_of(self, x: float, y: float) -> _Cell:
+        return (math.floor(x / self._cell_size), math.floor(y / self._cell_size))
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._positions
+
+    @property
+    def cell_size(self) -> float:
+        return self._cell_size
+
+    def position(self, label: Hashable) -> Tuple[float, float]:
+        """Stored position of ``label``."""
+        return self._positions[label]
+
+    def labels(self) -> Iterable[Hashable]:
+        """All labels in the index."""
+        return self._positions.keys()
+
+    def within(self, center: PointLike, radius: float) -> List[Hashable]:
+        """All labels whose point lies within ``radius`` of ``center``.
+
+        The boundary is inclusive (``d <= radius``), matching the
+        paper's coverage definition ``d(u, v) <= γ``.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        cx, cy = center
+        span = int(math.ceil(radius / self._cell_size)) + 1
+        base = self._cell_of(cx, cy)
+        found: List[Hashable] = []
+        for dx in range(-span, span + 1):
+            for dy in range(-span, span + 1):
+                cell = (base[0] + dx, base[1] + dy)
+                for label in self._cells.get(cell, ()):
+                    if euclidean(self._positions[label], (cx, cy)) <= radius:
+                        found.append(label)
+        return found
+
+    def neighbors_of(self, label: Hashable, radius: float) -> List[Hashable]:
+        """Labels within ``radius`` of ``label``'s point, excluding itself."""
+        center = self._positions[label]
+        return [other for other in self.within(center, radius) if other != label]

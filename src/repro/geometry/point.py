@@ -1,0 +1,86 @@
+"""Immutable 2-D points.
+
+A :class:`Point` is a frozen dataclass with ``x`` and ``y`` coordinates
+in metres. It supports tuple-like unpacking and basic vector
+arithmetic, which keeps call sites readable without pulling numpy into
+every hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+PointLike = Union["Point", Tuple[float, float], Sequence[float]]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the 2-D monitoring plane, coordinates in metres."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __len__(self) -> int:
+        return 2
+
+    def __getitem__(self, index: int) -> float:
+        return (self.x, self.y)[index]
+
+    def __add__(self, other: PointLike) -> "Point":
+        ox, oy = other
+        return Point(self.x + ox, self.y + oy)
+
+    def __sub__(self, other: PointLike) -> "Point":
+        ox, oy = other
+        return Point(self.x - ox, self.y - oy)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def distance_to(self, other: PointLike) -> float:
+        """Euclidean distance from this point to ``other``."""
+        ox, oy = other
+        return math.hypot(self.x - ox, self.y - oy)
+
+    def norm(self) -> float:
+        """Distance from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def as_point(value: PointLike) -> Point:
+    """Coerce a ``(x, y)`` pair or :class:`Point` into a :class:`Point`."""
+    if isinstance(value, Point):
+        return value
+    x, y = value
+    return Point(float(x), float(y))
+
+
+def centroid(points: Iterable[PointLike]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    xs = 0.0
+    ys = 0.0
+    count = 0
+    for p in points:
+        px, py = p
+        xs += px
+        ys += py
+        count += 1
+    if count == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return Point(xs / count, ys / count)

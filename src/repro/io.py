@@ -1,0 +1,196 @@
+"""Instance and schedule serialization (JSON).
+
+Reproducibility plumbing: save a :class:`~repro.network.topology.WRSN`
+instance (positions, rates, battery states, infrastructure) or a
+computed schedule to a JSON document, and load it back bit-exactly.
+Used by the CLI to pass instances between commands and by users to
+archive the exact instances behind reported numbers.
+
+The format is versioned (``"format": "repro-wrsn/1"``) and intentionally
+flat — no pickling, no code execution on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.baselines.common import BaselineSchedule, Visit
+from repro.core.schedule import ChargingSchedule
+from repro.energy.battery import Battery
+from repro.energy.charging import ChargerSpec
+from repro.geometry.deployment import Field
+from repro.geometry.point import Point
+from repro.network.nodes import BaseStation, Depot
+from repro.network.sensor import Sensor
+from repro.network.topology import WRSN
+
+WRSN_FORMAT = "repro-wrsn/1"
+SCHEDULE_FORMAT = "repro-schedule/1"
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# WRSN instances
+# ----------------------------------------------------------------------
+
+def wrsn_to_dict(network: WRSN) -> Dict:
+    """Serialize a WRSN instance to a JSON-ready dict."""
+    return {
+        "format": WRSN_FORMAT,
+        "field": {
+            "width": network.field.width,
+            "height": network.field.height,
+        },
+        "comm_range_m": network.comm_range_m,
+        "base_station": list(network.base_station.position.as_tuple()),
+        "depot": list(network.depot.position.as_tuple()),
+        "sensors": [
+            {
+                "id": s.id,
+                "x": s.position.x,
+                "y": s.position.y,
+                "capacity_j": s.battery.capacity_j,
+                "level_j": s.battery.level_j,
+                "data_rate_bps": s.data_rate_bps,
+            }
+            for s in network.sensors()
+        ],
+    }
+
+
+def wrsn_from_dict(data: Dict) -> WRSN:
+    """Rebuild a WRSN instance from :func:`wrsn_to_dict` output.
+
+    Raises:
+        ValueError: on a missing or unknown format tag.
+    """
+    if data.get("format") != WRSN_FORMAT:
+        raise ValueError(
+            f"not a {WRSN_FORMAT} document: format={data.get('format')!r}"
+        )
+    sensors = [
+        Sensor(
+            id=int(raw["id"]),
+            position=Point(float(raw["x"]), float(raw["y"])),
+            battery=Battery(
+                capacity_j=float(raw["capacity_j"]),
+                level_j=float(raw["level_j"]),
+            ),
+            data_rate_bps=float(raw["data_rate_bps"]),
+        )
+        for raw in data["sensors"]
+    ]
+    bs = Point(*data["base_station"])
+    depot = Point(*data["depot"])
+    return WRSN(
+        sensors=sensors,
+        base_station=BaseStation(position=bs),
+        depot=Depot(position=depot),
+        comm_range_m=float(data["comm_range_m"]),
+        field=Field(
+            width=float(data["field"]["width"]),
+            height=float(data["field"]["height"]),
+        ),
+    )
+
+
+def save_wrsn(network: WRSN, path: PathLike) -> None:
+    """Write a WRSN instance to a JSON file."""
+    Path(path).write_text(json.dumps(wrsn_to_dict(network), indent=2))
+
+
+def load_wrsn(path: PathLike) -> WRSN:
+    """Read a WRSN instance from a JSON file."""
+    return wrsn_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+
+def schedule_to_dict(
+    schedule: Union[ChargingSchedule, BaselineSchedule],
+    algorithm: str = "",
+) -> Dict:
+    """Serialize any schedule to a JSON-ready report dict.
+
+    The document captures the *executable* content — per-vehicle stop
+    sequences with timing and the sensors each stop charges — not the
+    internal solver state; it is sufficient to drive an MCV fleet or to
+    recompute every metric in :mod:`repro.sim.metrics`.
+    """
+    if isinstance(schedule, ChargingSchedule):
+        vehicles: List[Dict] = []
+        for k, tour in enumerate(schedule.tours):
+            stops = []
+            for node in tour:
+                start, finish = schedule.stop_interval(node)
+                stops.append(
+                    {
+                        "location": node,
+                        "arrival_s": schedule.arrival[node],
+                        "start_s": start,
+                        "finish_s": finish,
+                        "charges": sorted(schedule.charges.get(node, ())),
+                    }
+                )
+            vehicles.append(
+                {"vehicle": k, "delay_s": schedule.tour_delay(k),
+                 "stops": stops}
+            )
+        kind = "multi-node"
+    else:
+        vehicles = []
+        for k, itinerary in enumerate(schedule.itineraries):
+            stops = [
+                {
+                    "location": v.sensor_id,
+                    "arrival_s": v.arrival_s,
+                    "start_s": v.arrival_s,
+                    "finish_s": v.finish_s,
+                    "charges": [v.sensor_id],
+                }
+                for v in itinerary
+            ]
+            vehicles.append(
+                {"vehicle": k, "delay_s": schedule.tour_delay(k),
+                 "stops": stops}
+            )
+        kind = "one-to-one"
+    return {
+        "format": SCHEDULE_FORMAT,
+        "algorithm": algorithm,
+        "kind": kind,
+        "depot": list(schedule.depot.as_tuple()),
+        "longest_delay_s": schedule.longest_delay(),
+        "vehicles": vehicles,
+    }
+
+
+def save_schedule(
+    schedule: Union[ChargingSchedule, BaselineSchedule],
+    path: PathLike,
+    algorithm: str = "",
+) -> None:
+    """Write a schedule report to a JSON file."""
+    Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule, algorithm), indent=2)
+    )
+
+
+def load_schedule_report(path: PathLike) -> Dict:
+    """Read a schedule report; returns the plain dict (reports are
+    consumed, not re-solved).
+
+    Raises:
+        ValueError: on a wrong format tag.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"not a {SCHEDULE_FORMAT} document: format={data.get('format')!r}"
+        )
+    return data

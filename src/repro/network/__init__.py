@@ -1,0 +1,31 @@
+"""WRSN network substrate: entities, topology, routing and requests.
+
+* :mod:`repro.network.sensor` — the :class:`Sensor` entity (position,
+  battery, data rate).
+* :mod:`repro.network.nodes` — the base station and the MCV depot.
+* :mod:`repro.network.topology` — the :class:`WRSN` container and the
+  :func:`random_wrsn` generator matching the paper's deployment.
+* :mod:`repro.network.routing` — shortest-path-tree routing to the base
+  station and relay-load computation.
+* :mod:`repro.network.requests` — charging-request records and the
+  threshold trigger.
+"""
+
+from repro.network.nodes import BaseStation, Depot
+from repro.network.requests import ChargingRequest, sensors_below_threshold
+from repro.network.routing import RoutingTree, build_routing_tree, relay_loads_bps
+from repro.network.sensor import Sensor
+from repro.network.topology import WRSN, random_wrsn
+
+__all__ = [
+    "BaseStation",
+    "ChargingRequest",
+    "Depot",
+    "RoutingTree",
+    "Sensor",
+    "WRSN",
+    "build_routing_tree",
+    "random_wrsn",
+    "relay_loads_bps",
+    "sensors_below_threshold",
+]

@@ -1,0 +1,40 @@
+"""Fixed infrastructure nodes: the base station and the MCV depot.
+
+The paper assumes a single base station (the data sink and the
+scheduler of the mobile chargers) and a depot where the ``K`` MCVs
+start and end every closed charging tour. In the evaluation both are
+co-located at the field center, but the model keeps them distinct so
+other placements can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class BaseStation:
+    """The data sink; has no energy constraint (Section III-A)."""
+
+    position: Point
+
+    def distance_to(self, point: Point) -> float:
+        """Euclidean distance from the base station to ``point``."""
+        return self.position.distance_to(point)
+
+
+@dataclass(frozen=True)
+class Depot:
+    """Home location of the ``K`` mobile charging vehicles.
+
+    Every charging tour is a closed tour through the depot
+    (Definition 1); MCVs return here to replenish between rounds.
+    """
+
+    position: Point
+
+    def distance_to(self, point: Point) -> float:
+        """Euclidean distance from the depot to ``point``."""
+        return self.position.distance_to(point)

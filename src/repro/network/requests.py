@@ -1,0 +1,67 @@
+"""Charging requests and the residual-energy threshold trigger.
+
+Each sensor sends a charging request to the base station when its
+residual energy falls below a threshold (20 % of capacity in the
+paper's evaluation). The base station accumulates requests into the
+set ``V_s`` of lifetime-critical sensors that a scheduling round must
+cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.energy.battery import DEFAULT_REQUEST_THRESHOLD
+from repro.network.topology import WRSN
+
+
+@dataclass(frozen=True, order=True)
+class ChargingRequest:
+    """One sensor's request for charging.
+
+    Ordered by issue time so request queues sort chronologically.
+    """
+
+    time_s: float
+    sensor_id: int
+    residual_j: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"request time must be non-negative: {self.time_s}")
+        if self.residual_j < 0:
+            raise ValueError(
+                f"residual energy must be non-negative: {self.residual_j}"
+            )
+
+
+def sensors_below_threshold(
+    network: WRSN, threshold: float = DEFAULT_REQUEST_THRESHOLD
+) -> List[int]:
+    """Ids of all sensors whose residual fraction is below ``threshold``.
+
+    This is the instantaneous ``V_s`` a scheduling round would serve if
+    it started now.
+    """
+    return [
+        s.id for s in network.sensors() if s.battery.below_threshold(threshold)
+    ]
+
+
+def make_requests(
+    network: WRSN,
+    time_s: float,
+    threshold: float = DEFAULT_REQUEST_THRESHOLD,
+) -> List[ChargingRequest]:
+    """Materialise :class:`ChargingRequest` records for every sensor
+    currently below ``threshold``."""
+    return [
+        ChargingRequest(
+            time_s=time_s,
+            sensor_id=s.id,
+            residual_j=s.battery.level_j,
+        )
+        for s in network.sensors()
+        if s.battery.below_threshold(threshold)
+    ]

@@ -1,0 +1,63 @@
+"""The sensor entity.
+
+A :class:`Sensor` couples an id, a fixed position, a rechargeable
+:class:`~repro.energy.battery.Battery` and a data sensing rate. The
+paper draws each sensor's rate ``b_i`` uniformly from
+``[b_min, b_max]`` kbps and keeps everything else homogeneous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+
+
+@dataclass
+class Sensor:
+    """One stationary rechargeable sensor node.
+
+    Attributes:
+        id: unique integer id within a :class:`~repro.network.topology.WRSN`.
+        position: fixed planar location in metres.
+        battery: mutable battery state.
+        data_rate_bps: sensing rate ``b_i`` in bits per second.
+    """
+
+    id: int
+    position: Point
+    battery: Battery = field(default_factory=Battery)
+    data_rate_bps: float = 1_000.0
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError(f"sensor id must be non-negative, got {self.id}")
+        if self.data_rate_bps < 0:
+            raise ValueError(
+                f"data rate must be non-negative, got {self.data_rate_bps}"
+            )
+
+    @property
+    def residual_j(self) -> float:
+        """Residual battery energy ``RE_v`` in joules."""
+        return self.battery.level_j
+
+    @property
+    def capacity_j(self) -> float:
+        """Battery capacity ``C_v`` in joules."""
+        return self.battery.capacity_j
+
+    def distance_to(self, other: "Sensor") -> float:
+        """Euclidean distance to another sensor, in metres."""
+        return self.position.distance_to(other.position)
+
+    def copy(self) -> "Sensor":
+        """Deep-enough copy: shares the immutable position, clones the
+        battery so simulations never alias state across instances."""
+        return Sensor(
+            id=self.id,
+            position=self.position,
+            battery=self.battery.copy(),
+            data_rate_bps=self.data_rate_bps,
+        )

@@ -1,0 +1,45 @@
+"""Long-horizon WRSN monitoring simulation.
+
+* :mod:`repro.sim.events` — a minimal discrete-event engine (time-
+  ordered heap with stable tie-breaking).
+* :mod:`repro.sim.mcv` — replay of a charging schedule as a
+  time-stamped vehicle trajectory (diagnostics and examples).
+* :mod:`repro.sim.simulator` — the one-year monitoring loop of the
+  paper's evaluation: linear battery depletion, threshold-triggered
+  requests, per-round scheduling, dead-duration accounting.
+* :mod:`repro.sim.metrics` — the aggregate metrics of the paper's
+  figures (average longest tour duration, average dead duration per
+  sensor).
+* :mod:`repro.sim.scenario` — the algorithm registry binding the five
+  schedulers to one uniform interface.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.mcv import MCVTrajectory, replay_schedule
+from repro.sim.metrics import SimMetrics
+from repro.sim.online import OnlineMonitoringSimulation
+from repro.sim.robustness import (
+    perturbed_execution,
+    robustness_report,
+)
+from repro.sim.scenario import ALGORITHMS, AlgorithmSpec, get_algorithm
+from repro.sim.simulator import MonitoringSimulation, SECONDS_PER_YEAR
+from repro.sim.trace import SimulationTrace, TraceRecorder
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "Event",
+    "EventQueue",
+    "MCVTrajectory",
+    "MonitoringSimulation",
+    "OnlineMonitoringSimulation",
+    "SECONDS_PER_YEAR",
+    "SimMetrics",
+    "SimulationTrace",
+    "TraceRecorder",
+    "get_algorithm",
+    "perturbed_execution",
+    "replay_schedule",
+    "robustness_report",
+]

@@ -1,0 +1,76 @@
+"""A minimal discrete-event engine.
+
+A heap-ordered queue of :class:`Event` records. Ties in time are broken
+by insertion order, so simulations are deterministic regardless of
+payload types. The monitoring simulator uses it to interleave
+sensor-charged events with round boundaries; it is generic enough for
+any other time-ordered process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event.
+
+    Attributes:
+        time_s: simulation time at which the event fires.
+        kind: free-form tag (e.g. ``"charged"``, ``"round_end"``).
+        payload: arbitrary data carried by the event.
+    """
+
+    time_s: float
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Time-ordered event queue with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Schedule ``event``; its time must be non-negative."""
+        if event.time_s < 0:
+            raise ValueError(f"event time must be non-negative: {event.time_s}")
+        heapq.heappush(self._heap, (event.time_s, next(self._counter), event))
+
+    def schedule(self, time_s: float, kind: str, payload: Any = None) -> Event:
+        """Convenience: build and push an event, returning it."""
+        event = Event(time_s=time_s, kind=kind, payload=payload)
+        self.push(event)
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """The next event without removing it, or ``None`` when empty."""
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next event.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        return heapq.heappop(self._heap)[2]
+
+    def pop_until(self, time_s: float) -> Iterator[Event]:
+        """Yield and remove every event with ``time <= time_s`` in order."""
+        while self._heap and self._heap[0][0] <= time_s:
+            yield self.pop()
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,83 @@
+"""Aggregate metrics of the monitoring simulation.
+
+The paper's figures report two quantities per algorithm:
+
+* **average longest tour duration** — the mean, over scheduling rounds
+  (and over instances), of the round's longest MCV delay (hours in the
+  figures);
+* **average dead duration per sensor** — the total time sensors spent
+  with an empty battery during the monitoring period, divided by the
+  number of sensors (minutes in the figures).
+
+:class:`SimMetrics` carries both plus supporting detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimMetrics:
+    """Outcome of one monitoring simulation run."""
+
+    #: Monitoring horizon actually simulated, seconds.
+    horizon_s: float
+    #: Number of sensors in the network.
+    num_sensors: int
+    #: Longest MCV delay of every scheduling round, seconds.
+    round_longest_delays_s: List[float] = field(default_factory=list)
+    #: Accumulated dead time per sensor id, seconds.
+    dead_time_s: Dict[int, float] = field(default_factory=dict)
+    #: Number of sensors charged in each round.
+    round_request_counts: List[int] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_longest_delays_s)
+
+    @property
+    def mean_longest_delay_s(self) -> float:
+        """Average longest tour duration over rounds (0 if no rounds)."""
+        if not self.round_longest_delays_s:
+            return 0.0
+        return sum(self.round_longest_delays_s) / len(
+            self.round_longest_delays_s
+        )
+
+    @property
+    def mean_longest_delay_hours(self) -> float:
+        return self.mean_longest_delay_s / 3600.0
+
+    @property
+    def max_longest_delay_s(self) -> float:
+        return max(self.round_longest_delays_s, default=0.0)
+
+    @property
+    def total_dead_time_s(self) -> float:
+        return sum(self.dead_time_s.values())
+
+    @property
+    def avg_dead_time_per_sensor_s(self) -> float:
+        """Average dead duration per sensor over the horizon."""
+        if self.num_sensors == 0:
+            return 0.0
+        return self.total_dead_time_s / self.num_sensors
+
+    @property
+    def avg_dead_time_per_sensor_minutes(self) -> float:
+        return self.avg_dead_time_per_sensor_s / 60.0
+
+    @property
+    def num_sensors_ever_dead(self) -> int:
+        return sum(1 for t in self.dead_time_s.values() if t > 0)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"rounds={self.num_rounds} "
+            f"mean_longest_delay={self.mean_longest_delay_hours:.2f}h "
+            f"avg_dead={self.avg_dead_time_per_sensor_minutes:.1f}min "
+            f"ever_dead={self.num_sensors_ever_dead}/{self.num_sensors}"
+        )

@@ -1,0 +1,134 @@
+"""Uniform algorithm interface and registry.
+
+The simulator and the benchmark harness treat every scheduling
+algorithm as one callable::
+
+    scheduler(network, request_ids, num_chargers, charger, lifetimes)
+        -> object with .longest_delay() and .sensor_finish_times()
+
+:data:`ALGORITHMS` registers the five algorithms of the paper under
+their figure-legend names: ``Appro``, ``K-EDF``, ``NETWRAP``, ``AA``
+and ``K-minMax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Protocol, Sequence
+
+from repro.baselines.aa import aa_schedule
+from repro.baselines.kedf import kedf_schedule
+from repro.baselines.kminmax_baseline import kminmax_baseline_schedule
+from repro.baselines.netwrap import netwrap_schedule
+from repro.core.appro import appro_schedule
+from repro.energy.charging import ChargerSpec
+from repro.network.topology import WRSN
+
+
+class ScheduleResult(Protocol):
+    """What the simulator needs back from any scheduler."""
+
+    def longest_delay(self) -> float: ...
+
+    def sensor_finish_times(self) -> Dict[int, float]: ...
+
+
+SchedulerFn = Callable[..., ScheduleResult]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named scheduling algorithm with the uniform call signature.
+
+    Attributes:
+        name: figure-legend name.
+        run: the adapter callable.
+        multi_node: whether the algorithm exploits multi-node charging
+            (only ``Appro`` does).
+    """
+
+    name: str
+    run: SchedulerFn
+    multi_node: bool
+
+
+def _appro(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+) -> ScheduleResult:
+    return appro_schedule(network, request_ids, num_chargers, charger=charger)
+
+
+def _kedf(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+) -> ScheduleResult:
+    return kedf_schedule(
+        network, request_ids, num_chargers, charger=charger, lifetimes=lifetimes
+    )
+
+
+def _netwrap(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+) -> ScheduleResult:
+    return netwrap_schedule(
+        network, request_ids, num_chargers, charger=charger, lifetimes=lifetimes
+    )
+
+
+def _aa(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+) -> ScheduleResult:
+    return aa_schedule(
+        network, request_ids, num_chargers, charger=charger, seed=0
+    )
+
+
+def _kminmax(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+) -> ScheduleResult:
+    return kminmax_baseline_schedule(
+        network, request_ids, num_chargers, charger=charger
+    )
+
+
+#: The five algorithms of the paper's evaluation, keyed by legend name.
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    "Appro": AlgorithmSpec(name="Appro", run=_appro, multi_node=True),
+    "K-EDF": AlgorithmSpec(name="K-EDF", run=_kedf, multi_node=False),
+    "NETWRAP": AlgorithmSpec(name="NETWRAP", run=_netwrap, multi_node=False),
+    "AA": AlgorithmSpec(name="AA", run=_aa, multi_node=False),
+    "K-minMax": AlgorithmSpec(name="K-minMax", run=_kminmax, multi_node=False),
+}
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up an algorithm by its legend name.
+
+    Raises:
+        KeyError: with the list of known names on a miss.
+    """
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}"
+        ) from None

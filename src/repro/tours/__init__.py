@@ -1,0 +1,61 @@
+"""Closed-tour construction for mobile chargers.
+
+* :mod:`repro.tours.tour` — the :class:`Tour` value type (an ordered
+  visit sequence rooted at the depot) and its delay arithmetic.
+* :mod:`repro.tours.tsp` — TSP tour constructions (nearest-neighbour,
+  greedy-edge, double-MST, Christofides).
+* :mod:`repro.tours.improve` — 2-opt / Or-opt local search.
+* :mod:`repro.tours.splitting` — rooted min-max splitting of one tour
+  into ``K`` segments with node service weights (Frederickson-style).
+* :mod:`repro.tours.kminmax` — the ``K``-optimal closed tour solver
+  (Definition 2) used as Algorithm 1's subroutine; our implementation
+  of the Liang et al. constant-factor approximation.
+"""
+
+from repro.tours.energy_budget import (
+    MCVEnergyModel,
+    minimum_chargers_energy_constrained,
+    solve_k_minmax_energy_constrained,
+    split_tour_energy_constrained,
+    tour_energy,
+)
+from repro.tours.exact import exact_k_minmax, held_karp_tsp
+from repro.tours.improve import or_opt, two_opt
+from repro.tours.kminmax import solve_k_minmax_tours
+from repro.tours.minchargers import (
+    MinChargersResult,
+    minimum_chargers_for_bound,
+)
+from repro.tours.splitting import greedy_split_with_bound, split_tour_min_max
+from repro.tours.tour import Tour, tour_delay
+from repro.tours.tsp import (
+    build_tsp_order,
+    christofides_tour,
+    double_mst_tour,
+    greedy_edge_tour,
+    nearest_neighbor_tour,
+)
+
+__all__ = [
+    "MCVEnergyModel",
+    "MinChargersResult",
+    "Tour",
+    "build_tsp_order",
+    "christofides_tour",
+    "double_mst_tour",
+    "exact_k_minmax",
+    "greedy_edge_tour",
+    "greedy_split_with_bound",
+    "held_karp_tsp",
+    "minimum_chargers_energy_constrained",
+    "minimum_chargers_for_bound",
+    "nearest_neighbor_tour",
+    "or_opt",
+    "solve_k_minmax_energy_constrained",
+    "solve_k_minmax_tours",
+    "split_tour_energy_constrained",
+    "split_tour_min_max",
+    "tour_delay",
+    "tour_energy",
+    "two_opt",
+]

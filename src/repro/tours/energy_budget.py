@@ -1,0 +1,312 @@
+"""Per-tour MCV energy budgets (beyond-the-paper extension).
+
+The paper assumes "a mobile charger has sufficient energy for traveling
+and sensor charging per charging tour" (Section III-B), citing Liang et
+al. [13, 14] for the energy-constrained variant. This module supplies
+that variant's machinery:
+
+* :class:`MCVEnergyModel` — the vehicle's battery capacity and its two
+  energy sinks: travel (J/m) and delivered charging energy (the
+  charger draws ``η / transfer_efficiency`` watts while charging at
+  rate ``η``).
+* :func:`tour_energy` — total energy one closed tour consumes.
+* :func:`split_tour_energy_constrained` — min-max splitting under both
+  the delay bound *and* the battery capacity: the greedy packer closes
+  a segment when either the delay bound or the energy budget would be
+  exceeded. With an infinite budget it reduces exactly to the paper's
+  splitting.
+* :func:`minimum_chargers_energy_constrained` — fewest vehicles such
+  that every tour fits the battery (and optionally a delay bound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import PointLike
+from repro.tours.splitting import segment_cost
+from repro.tours.tsp import build_tsp_order
+from repro.tours.improve import or_opt, two_opt
+
+
+@dataclass(frozen=True)
+class MCVEnergyModel:
+    """Energy accounting of one mobile charging vehicle.
+
+    Attributes:
+        battery_j: usable battery capacity per tour, joules.
+        travel_j_per_m: propulsion energy per metre.
+        charge_rate_w: the charging rate ``η`` delivered to sensors.
+        transfer_efficiency: fraction of drawn power that reaches the
+            sensors; the vehicle drains ``η / transfer_efficiency``
+            watts while charging.
+    """
+
+    battery_j: float
+    travel_j_per_m: float = 10.0
+    charge_rate_w: float = 2.0
+    transfer_efficiency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.battery_j <= 0:
+            raise ValueError(f"battery must be positive: {self.battery_j}")
+        if self.travel_j_per_m < 0:
+            raise ValueError(
+                f"travel energy must be non-negative: {self.travel_j_per_m}"
+            )
+        if self.charge_rate_w <= 0:
+            raise ValueError(
+                f"charge rate must be positive: {self.charge_rate_w}"
+            )
+        if not 0.0 < self.transfer_efficiency <= 1.0:
+            raise ValueError(
+                f"transfer efficiency must be in (0, 1]: "
+                f"{self.transfer_efficiency}"
+            )
+
+    def travel_energy(self, distance_m: float) -> float:
+        """Joules to drive ``distance_m`` metres."""
+        if distance_m < 0:
+            raise ValueError(f"distance must be non-negative: {distance_m}")
+        return self.travel_j_per_m * distance_m
+
+    def charging_energy(self, charge_seconds: float) -> float:
+        """Joules drained while the charger runs for ``charge_seconds``."""
+        if charge_seconds < 0:
+            raise ValueError(
+                f"charge time must be non-negative: {charge_seconds}"
+            )
+        return (
+            self.charge_rate_w / self.transfer_efficiency * charge_seconds
+        )
+
+
+def tour_energy(
+    segment: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    model: MCVEnergyModel,
+    service: Callable[[Hashable], float],
+) -> float:
+    """Energy one closed tour depot -> segment -> depot consumes."""
+    if not segment:
+        return 0.0
+    travel = euclidean(depot, positions[segment[0]])
+    for a, b in zip(segment, segment[1:]):
+        travel += euclidean(positions[a], positions[b])
+    travel += euclidean(positions[segment[-1]], depot)
+    charging = sum(service(v) for v in segment)
+    return model.travel_energy(travel) + model.charging_energy(charging)
+
+
+def _greedy_split_dual(
+    order: Sequence[Hashable],
+    delay_bound: float,
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+    model: MCVEnergyModel,
+) -> Optional[List[List[Hashable]]]:
+    """Greedy packing under both the delay bound and the battery.
+
+    Returns ``None`` when some single node violates either constraint
+    on its own.
+    """
+    segments: List[List[Hashable]] = []
+    current: List[Hashable] = []
+    open_cost = 0.0       # delay without the return leg
+    open_travel = 0.0     # metres without the return leg
+    open_charge = 0.0     # charging seconds
+    last: Optional[Hashable] = None
+
+    def fits(cost, travel_m, charge_s) -> bool:
+        energy = model.travel_energy(travel_m) + model.charging_energy(
+            charge_s
+        )
+        return cost <= delay_bound and energy <= model.battery_j
+
+    for node in order:
+        leg_from = depot if last is None else positions[last]
+        leg = euclidean(leg_from, positions[node])
+        svc = service(node)
+        closing = euclidean(positions[node], depot)
+        candidate_cost = open_cost + leg / speed_mps + svc + closing / speed_mps
+        candidate_travel = open_travel + leg + closing
+        candidate_charge = open_charge + svc
+        if current and not fits(
+            candidate_cost, candidate_travel, candidate_charge
+        ):
+            segments.append(current)
+            current = []
+            open_cost = open_travel = open_charge = 0.0
+            last = None
+            leg = euclidean(depot, positions[node])
+            candidate_cost = leg / speed_mps + svc + closing / speed_mps
+            candidate_travel = leg + closing
+            candidate_charge = svc
+        if not current and not fits(
+            candidate_cost, candidate_travel, candidate_charge
+        ):
+            return None
+        current.append(node)
+        open_cost += leg / speed_mps + svc
+        open_travel += leg
+        open_charge += svc
+        last = node
+    if current:
+        segments.append(current)
+    return segments
+
+
+def split_tour_energy_constrained(
+    order: Sequence[Hashable],
+    num_tours: int,
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+    model: MCVEnergyModel,
+) -> Tuple[Optional[List[List[Hashable]]], float]:
+    """Best energy-feasible consecutive split into ≤ ``num_tours``.
+
+    Binary-searches the delay bound exactly like the unconstrained
+    splitter, with the battery as a hard side constraint on every
+    candidate segment.
+
+    Returns:
+        ``(segments, achieved_delay)`` — ``segments`` is ``None`` when
+        no energy-feasible split into ``num_tours`` tours exists (some
+        node alone busts the battery, or the fleet is too small).
+    """
+    if num_tours <= 0:
+        raise ValueError(f"num_tours must be positive, got {num_tours}")
+    order = list(order)
+    if not order:
+        return [[] for _ in range(num_tours)], 0.0
+
+    low = max(
+        segment_cost([node], positions, depot, speed_mps, service)
+        for node in order
+    )
+    high = segment_cost(order, positions, depot, speed_mps, service)
+
+    def feasible(bound: float) -> Optional[List[List[Hashable]]]:
+        slack = bound * (1.0 + 1e-12) + 1e-9
+        segs = _greedy_split_dual(
+            order, slack, positions, depot, speed_mps, service, model
+        )
+        if segs is None or len(segs) > num_tours:
+            return None
+        return segs
+
+    best = feasible(high)
+    if best is None:
+        return None, math.inf
+    if feasible(low) is not None:
+        best = feasible(low)
+    else:
+        for _ in range(100):
+            if high - low <= 1e-9 * max(high, 1.0):
+                break
+            mid = (low + high) / 2.0
+            segs = feasible(mid)
+            if segs is None:
+                low = mid
+            else:
+                high = mid
+                best = segs
+    achieved = max(
+        segment_cost(seg, positions, depot, speed_mps, service)
+        for seg in best
+        if seg
+    )
+    padded = [list(seg) for seg in best]
+    padded.extend([] for _ in range(num_tours - len(padded)))
+    return padded, achieved
+
+
+def solve_k_minmax_energy_constrained(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    num_tours: int,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+    model: MCVEnergyModel,
+    tsp_method: str = "christofides",
+) -> Tuple[Optional[List[List[Hashable]]], float]:
+    """Energy-feasible min-max K tours (backbone + constrained split)."""
+    node_list = list(nodes)
+    if not node_list:
+        return [[] for _ in range(num_tours)], 0.0
+    method = tsp_method
+    if method == "christofides" and len(node_list) > 250:
+        method = "greedy_edge"
+    order = build_tsp_order(node_list, positions, depot, method=method)
+    if 3 <= len(order) <= 600:
+        order = two_opt(order, positions, depot)
+        order = or_opt(order, positions, depot)
+    return split_tour_energy_constrained(
+        order, num_tours, positions, depot, speed_mps, service, model
+    )
+
+
+def minimum_chargers_energy_constrained(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+    model: MCVEnergyModel,
+    delay_bound_s: float = math.inf,
+    max_chargers: int = 128,
+) -> Tuple[Optional[int], Optional[List[List[Hashable]]]]:
+    """Fewest vehicles whose tours all fit the battery (and bound).
+
+    Returns:
+        ``(K, tours)`` or ``(None, None)`` when even ``max_chargers``
+        vehicles cannot satisfy the constraints (e.g. a single node's
+        round trip alone exceeds the battery).
+    """
+    node_list = list(nodes)
+    if not node_list:
+        return 0, []
+    for node in node_list:
+        if (
+            tour_energy([node], positions, depot, model, service)
+            > model.battery_j
+            or segment_cost([node], positions, depot, speed_mps, service)
+            > delay_bound_s
+        ):
+            return None, None
+    def attempt(k: int):
+        tours, achieved = solve_k_minmax_energy_constrained(
+            node_list, positions, depot, k, speed_mps, service, model
+        )
+        if tours is not None and achieved <= delay_bound_s:
+            return tours
+        return None
+
+    # Double until feasible (or the ceiling), then binary-search the
+    # minimum inside (hi/2, hi].
+    hi = 1
+    tours = attempt(hi)
+    while tours is None and hi < max_chargers:
+        hi = min(hi * 2, max_chargers)
+        tours = attempt(hi)
+    if tours is None:
+        return None, None
+    lo = hi // 2 + 1 if hi > 1 else 1
+    best_k, best_tours = hi, tours
+    while lo < best_k:
+        mid = (lo + best_k) // 2
+        mid_tours = attempt(mid)
+        if mid_tours is not None:
+            best_k, best_tours = mid, mid_tours
+        else:
+            lo = mid + 1
+    return best_k, best_tours

@@ -1,0 +1,175 @@
+"""Exact solvers for small tour instances.
+
+Brute-force ground truth for testing and for certifying the
+approximation quality of the production solvers:
+
+* :func:`held_karp_tsp` — the classic O(n²·2ⁿ) dynamic program for the
+  optimal depot-rooted closed tour (travel only; service times are
+  order-invariant constants).
+* :func:`exact_k_minmax` — the optimal min-max K-tour cover of a small
+  node set: enumerate ordered set partitions implicitly by assigning
+  nodes to vehicles (Kⁿ assignments), solving each vehicle's tour with
+  Held–Karp, and memoising subset tours.
+
+Usable up to ~10 nodes (assignment enumeration) / ~15 nodes (single
+TSP); guarded with explicit limits so misuse fails loudly instead of
+hanging.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from functools import lru_cache
+from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import PointLike
+
+#: Hard limits: beyond these sizes the exact solvers refuse to run.
+MAX_TSP_NODES = 15
+MAX_PARTITION_NODES = 10
+
+
+def held_karp_tsp(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+) -> Tuple[List[Hashable], float]:
+    """Optimal depot-rooted closed tour (travel length) by Held–Karp.
+
+    Returns:
+        ``(order, travel_length)`` — the optimal visit order (depot
+        excluded) and the closed-tour travel length.
+
+    Raises:
+        ValueError: for more than :data:`MAX_TSP_NODES` nodes.
+    """
+    node_list = list(nodes)
+    n = len(node_list)
+    if n > MAX_TSP_NODES:
+        raise ValueError(
+            f"held_karp_tsp is limited to {MAX_TSP_NODES} nodes, got {n}"
+        )
+    if n == 0:
+        return [], 0.0
+    if n == 1:
+        d = euclidean(depot, positions[node_list[0]])
+        return [node_list[0]], 2.0 * d
+
+    dist_depot = [euclidean(depot, positions[v]) for v in node_list]
+    dist = [
+        [euclidean(positions[a], positions[b]) for b in node_list]
+        for a in node_list
+    ]
+
+    # dp[(mask, j)] = (cost of best path depot -> ... -> j over mask,
+    #                  predecessor j')
+    dp: Dict[Tuple[int, int], Tuple[float, int]] = {}
+    for j in range(n):
+        dp[(1 << j, j)] = (dist_depot[j], -1)
+    for mask in range(1, 1 << n):
+        for j in range(n):
+            if not mask & (1 << j):
+                continue
+            if (mask, j) not in dp:
+                continue
+            base_cost, _ = dp[(mask, j)]
+            for k in range(n):
+                if mask & (1 << k):
+                    continue
+                new_mask = mask | (1 << k)
+                cand = base_cost + dist[j][k]
+                if (new_mask, k) not in dp or cand < dp[(new_mask, k)][0]:
+                    dp[(new_mask, k)] = (cand, j)
+
+    full = (1 << n) - 1
+    best_cost = math.inf
+    best_last = -1
+    for j in range(n):
+        cost = dp[(full, j)][0] + dist_depot[j]
+        if cost < best_cost:
+            best_cost = cost
+            best_last = j
+
+    # Reconstruct.
+    order_idx: List[int] = []
+    mask, j = full, best_last
+    while j != -1:
+        order_idx.append(j)
+        _, prev = dp[(mask, j)]
+        mask ^= 1 << j
+        j = prev
+    order_idx.reverse()
+    return [node_list[i] for i in order_idx], best_cost
+
+
+def exact_k_minmax(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    num_tours: int,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+) -> Tuple[List[List[Hashable]], float]:
+    """Optimal min-max K-tour cover of a small node set.
+
+    Enumerates every assignment of nodes to the ``K`` vehicles (order
+    within a vehicle solved optimally by Held–Karp; symmetric
+    assignments pruned by pinning the first node to vehicle 0).
+
+    Returns:
+        ``(tours, optimal_longest_delay)`` with exactly ``num_tours``
+        visit lists.
+
+    Raises:
+        ValueError: for more than :data:`MAX_PARTITION_NODES` nodes or
+            non-positive ``num_tours``.
+    """
+    node_list = list(nodes)
+    n = len(node_list)
+    if num_tours <= 0:
+        raise ValueError(f"num_tours must be positive, got {num_tours}")
+    if n > MAX_PARTITION_NODES:
+        raise ValueError(
+            f"exact_k_minmax is limited to {MAX_PARTITION_NODES} nodes, "
+            f"got {n}"
+        )
+    if n == 0:
+        return [[] for _ in range(num_tours)], 0.0
+
+    index_of = {v: i for i, v in enumerate(node_list)}
+
+    @lru_cache(maxsize=None)
+    def subset_delay(mask: int) -> float:
+        subset = [node_list[i] for i in range(n) if mask & (1 << i)]
+        if not subset:
+            return 0.0
+        _, travel = held_karp_tsp(subset, positions, depot)
+        return travel / speed_mps + sum(service(v) for v in subset)
+
+    best_value = math.inf
+    best_assignment: Tuple[int, ...] = ()
+    # Node 0 pinned to vehicle 0 (vehicles are interchangeable).
+    for rest in itertools.product(range(num_tours), repeat=n - 1):
+        assignment = (0,) + rest
+        masks = [0] * num_tours
+        for i, veh in enumerate(assignment):
+            masks[veh] |= 1 << i
+        value = max(subset_delay(m) for m in masks)
+        if value < best_value:
+            best_value = value
+            best_assignment = assignment
+
+    tours: List[List[Hashable]] = []
+    masks = [0] * num_tours
+    for i, veh in enumerate(best_assignment):
+        masks[veh] |= 1 << i
+    for m in masks:
+        subset = [node_list[i] for i in range(n) if m & (1 << i)]
+        if subset:
+            order, _ = held_karp_tsp(subset, positions, depot)
+            tours.append(order)
+        else:
+            tours.append([])
+    return tours, best_value

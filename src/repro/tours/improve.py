@@ -1,0 +1,137 @@
+"""Local-search improvement of closed tours.
+
+2-opt and Or-opt over a depot-rooted cycle. Both operate on the visit
+*order* (the depot stays fixed at the boundary) and only shorten travel
+— node service times are order-invariant sums, so shorter travel is
+strictly better for every delay objective in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Mapping, Sequence
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import PointLike
+
+
+def _dist_fn(
+    positions: Mapping[Hashable, PointLike], depot: PointLike
+) -> Callable[[object, object], float]:
+    def dist(a: object, b: object) -> float:
+        pa = depot if a is None else positions[a]
+        pb = depot if b is None else positions[b]
+        return euclidean(pa, pb)
+
+    return dist
+
+
+def _cycle_length(order: Sequence[Hashable], dist) -> float:
+    if not order:
+        return 0.0
+    total = dist(None, order[0])
+    for a, b in zip(order, order[1:]):
+        total += dist(a, b)
+    total += dist(order[-1], None)
+    return total
+
+
+def two_opt(
+    order: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    max_rounds: int = 30,
+    min_gain: float = 1e-9,
+) -> List[Hashable]:
+    """First-improvement 2-opt on a depot-rooted cycle.
+
+    Repeatedly reverses segments ``order[i..j]`` while that shortens
+    travel, up to ``max_rounds`` full passes.
+
+    Returns a new order; the input is not mutated.
+    """
+    current = list(order)
+    n = len(current)
+    if n < 3:
+        return current
+    dist = _dist_fn(positions, depot)
+    # Treat the cycle as depot(None), v0, ..., v_{n-1}, depot(None).
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 1):
+            before_i = current[i - 1] if i > 0 else None
+            for j in range(i + 1, n):
+                after_j = current[j + 1] if j + 1 < n else None
+                removed = dist(before_i, current[i]) + dist(current[j], after_j)
+                added = dist(before_i, current[j]) + dist(current[i], after_j)
+                if removed - added > min_gain:
+                    current[i : j + 1] = reversed(current[i : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return current
+
+
+def or_opt(
+    order: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    segment_lengths: Sequence[int] = (1, 2, 3),
+    max_rounds: int = 10,
+    min_gain: float = 1e-9,
+) -> List[Hashable]:
+    """Or-opt: relocate short segments to better positions in the cycle.
+
+    Complements 2-opt (which cannot move a node without reversing).
+    Returns a new order; the input is not mutated.
+    """
+    current = list(order)
+    dist = _dist_fn(positions, depot)
+    for _ in range(max_rounds):
+        improved = False
+        for seg_len in segment_lengths:
+            n = len(current)
+            if n <= seg_len:
+                continue
+            i = 0
+            while i + seg_len <= len(current):
+                segment = current[i : i + seg_len]
+                rest = current[:i] + current[i + seg_len :]
+                before = current[i - 1] if i > 0 else None
+                after = current[i + seg_len] if i + seg_len < len(current) else None
+                removal_gain = (
+                    dist(before, segment[0])
+                    + dist(segment[-1], after)
+                    - dist(before, after)
+                )
+                # Try reinsertion between every pair in the remainder.
+                best_delta = -min_gain
+                best_pos = None
+                for pos in range(len(rest) + 1):
+                    pb = rest[pos - 1] if pos > 0 else None
+                    pa = rest[pos] if pos < len(rest) else None
+                    insertion_cost = (
+                        dist(pb, segment[0])
+                        + dist(segment[-1], pa)
+                        - dist(pb, pa)
+                    )
+                    delta = insertion_cost - removal_gain
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_pos = pos
+                if best_pos is not None:
+                    current = rest[:best_pos] + segment + rest[best_pos:]
+                    improved = True
+                else:
+                    i += 1
+        if not improved:
+            break
+    return current
+
+
+def cycle_travel_length(
+    order: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+) -> float:
+    """Travel length of the depot-rooted cycle through ``order``."""
+    return _cycle_length(order, _dist_fn(positions, depot))

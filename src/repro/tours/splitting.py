@@ -1,0 +1,171 @@
+"""Rooted min-max splitting of one tour into ``K`` closed tours.
+
+Given a single closed tour through all sojourn locations (rooted at the
+depot) where every node also carries a *service weight* (its charging
+duration), split the visit order into at most ``K`` consecutive
+segments. Each segment becomes one MCV's closed tour
+``depot -> segment -> depot``; a segment's cost is its travel time plus
+the service weights of its nodes. The goal is to minimise the maximum
+segment cost.
+
+This is the Frederickson–Hecht–Kim ``k-SPLITOUR`` idea extended with
+node weights, and it is the splitting step inside our implementation of
+the Liang et al. approximation for the ``K``-optimal closed tour
+problem (the paper's Definition 2). For a fixed visit order the optimal
+consecutive split is found exactly by binary search over the bound
+``B`` with a greedy feasibility check: walk the order, cut whenever
+adding the next node would push the current segment (plus its return
+leg) beyond ``B``. Greedy packing is optimal for consecutive splits, so
+the binary search converges to the best achievable max-cost for the
+given order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import PointLike
+
+#: Relative tolerance at which the binary search over ``B`` stops.
+_BINARY_SEARCH_REL_TOL = 1e-9
+_BINARY_SEARCH_MAX_ITER = 100
+
+
+def segment_cost(
+    segment: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+) -> float:
+    """Delay of one closed tour depot -> segment -> depot."""
+    if not segment:
+        return 0.0
+    travel = euclidean(depot, positions[segment[0]])
+    for a, b in zip(segment, segment[1:]):
+        travel += euclidean(positions[a], positions[b])
+    travel += euclidean(positions[segment[-1]], depot)
+    return travel / speed_mps + sum(service(v) for v in segment)
+
+
+def greedy_split_with_bound(
+    order: Sequence[Hashable],
+    bound: float,
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+) -> Optional[List[List[Hashable]]]:
+    """Greedily cut ``order`` into segments of cost ≤ ``bound``.
+
+    Returns the list of segments, or ``None`` when some single node
+    already exceeds the bound (no feasible split exists for any number
+    of vehicles).
+    """
+    segments: List[List[Hashable]] = []
+    current: List[Hashable] = []
+    # Cost of the current segment *without* the return-to-depot leg.
+    open_cost = 0.0
+    last: Optional[Hashable] = None
+
+    for node in order:
+        leg_from = depot if last is None else positions[last]
+        step = (
+            euclidean(leg_from, positions[node]) / speed_mps + service(node)
+        )
+        closing = euclidean(positions[node], depot) / speed_mps
+        if current and open_cost + step + closing > bound:
+            # Close the current segment before this node.
+            segments.append(current)
+            current = []
+            last = None
+            open_cost = 0.0
+            leg_from = depot
+            step = (
+                euclidean(leg_from, positions[node]) / speed_mps
+                + service(node)
+            )
+        if not current and step + closing > bound:
+            return None  # single node infeasible under this bound
+        current.append(node)
+        open_cost += step
+        last = node
+    if current:
+        segments.append(current)
+    return segments
+
+
+def split_tour_min_max(
+    order: Sequence[Hashable],
+    num_tours: int,
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    speed_mps: float,
+    service: Callable[[Hashable], float],
+) -> Tuple[List[List[Hashable]], float]:
+    """Best consecutive split of ``order`` into ≤ ``num_tours`` segments.
+
+    Binary-searches the max-cost bound ``B``; for each candidate the
+    greedy packer (:func:`greedy_split_with_bound`) checks whether
+    ``order`` fits into at most ``num_tours`` segments of cost ≤ ``B``.
+
+    Returns:
+        ``(segments, achieved_bound)`` where ``segments`` has exactly
+        ``num_tours`` entries (padded with empty segments), and
+        ``achieved_bound`` is the realised maximum segment cost.
+
+    Raises:
+        ValueError: if ``num_tours`` is not positive.
+    """
+    if num_tours <= 0:
+        raise ValueError(f"num_tours must be positive, got {num_tours}")
+    order = list(order)
+    if not order:
+        return [[] for _ in range(num_tours)], 0.0
+
+    def max_cost(segments: Sequence[Sequence[Hashable]]) -> float:
+        return max(
+            segment_cost(seg, positions, depot, speed_mps, service)
+            for seg in segments
+            if seg
+        )
+
+    # Lower bound: the costliest single-node round trip. Upper bound:
+    # the whole order as one segment.
+    low = max(
+        segment_cost([node], positions, depot, speed_mps, service)
+        for node in order
+    )
+    high = segment_cost(order, positions, depot, speed_mps, service)
+
+    def feasible(bound: float) -> Optional[List[List[Hashable]]]:
+        # Inflate the bound by a hair: the packer accumulates travel
+        # legs in a different order than segment_cost, so exact
+        # equality is not float-safe.
+        slack = bound * (1.0 + 1e-12) + 1e-9
+        segs = greedy_split_with_bound(
+            order, slack, positions, depot, speed_mps, service
+        )
+        if segs is None or len(segs) > num_tours:
+            return None
+        return segs
+
+    best = feasible(high)
+    assert best is not None, "the full tour must fit in one segment"
+    if feasible(low) is not None:
+        best = feasible(low)
+    else:
+        for _ in range(_BINARY_SEARCH_MAX_ITER):
+            if high - low <= _BINARY_SEARCH_REL_TOL * max(high, 1.0):
+                break
+            mid = (low + high) / 2.0
+            segs = feasible(mid)
+            if segs is None:
+                low = mid
+            else:
+                high = mid
+                best = segs
+    padded = [list(seg) for seg in best]
+    padded.extend([] for _ in range(num_tours - len(padded)))
+    return padded, max_cost(best)

@@ -1,0 +1,109 @@
+"""The :class:`Tour` value type.
+
+A tour is the ordered sequence of sojourn locations one MCV visits,
+rooted at the depot: the vehicle leaves the depot, visits the stops in
+order, and returns. Node *service weights* (charging durations) and
+edge *travel times* together give the tour delay of Eqs. (4)–(5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import Point
+
+
+@dataclass
+class Tour:
+    """One MCV's closed charging tour.
+
+    Attributes:
+        stops: ordered sojourn-location ids; the depot is implicit at
+            both ends and never appears in ``stops``.
+    """
+
+    stops: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.stops)
+
+    def __iter__(self):
+        return iter(self.stops)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.stops
+
+    def is_empty(self) -> bool:
+        """Whether the MCV never leaves the depot."""
+        return not self.stops
+
+    def index_of(self, node: int) -> int:
+        """Position of ``node`` in the visit order.
+
+        Raises:
+            ValueError: if the node is not on this tour.
+        """
+        return self.stops.index(node)
+
+    def insert_after(self, anchor: Optional[int], node: int) -> int:
+        """Insert ``node`` immediately after ``anchor``.
+
+        ``anchor=None`` means "after the depot", i.e. the new first
+        stop. Returns the index at which ``node`` now sits.
+
+        Raises:
+            ValueError: if ``node`` is already on the tour or the
+                anchor is missing.
+        """
+        if node in self.stops:
+            raise ValueError(f"node {node} is already on the tour")
+        if anchor is None:
+            self.stops.insert(0, node)
+            return 0
+        idx = self.stops.index(anchor) + 1
+        self.stops.insert(idx, node)
+        return idx
+
+    def travel_length(
+        self, positions: Mapping[int, Point], depot: Point
+    ) -> float:
+        """Total travel distance depot -> stops -> depot, in metres."""
+        if not self.stops:
+            return 0.0
+        length = euclidean(depot, positions[self.stops[0]])
+        for a, b in zip(self.stops, self.stops[1:]):
+            length += euclidean(positions[a], positions[b])
+        length += euclidean(positions[self.stops[-1]], depot)
+        return length
+
+    def copy(self) -> "Tour":
+        return Tour(stops=list(self.stops))
+
+
+def tour_delay(
+    stops: Sequence[int],
+    positions: Mapping[int, Point],
+    depot: Point,
+    speed_mps: float,
+    service_time: Callable[[int], float],
+) -> float:
+    """Delay of a closed tour: travel time plus per-stop service time.
+
+    This is Eq. (5) with ``service_time(v) = τ(v)`` or Eq. (4) with the
+    residual durations ``τ'(v)``.
+    """
+    if speed_mps <= 0:
+        raise ValueError(f"speed must be positive, got {speed_mps}")
+    if not stops:
+        return 0.0
+    tour = Tour(stops=list(stops))
+    travel = tour.travel_length(positions, depot) / speed_mps
+    service = sum(service_time(v) for v in stops)
+    return travel + service
+
+
+def total_stops(tours: Iterable[Tour]) -> int:
+    """Total number of sojourn stops across a fleet of tours."""
+    return sum(len(t) for t in tours)

@@ -1,0 +1,237 @@
+"""TSP tour constructions over sojourn locations.
+
+The ``K``-optimal closed tour subroutine first builds a single closed
+tour through all locations, then splits it. Four constructions are
+provided; all return a *visit order* — a list of node ids beginning at
+the depot sentinel's successor (the depot itself is handled by the
+caller via :data:`DEPOT`):
+
+* :func:`nearest_neighbor_tour` — O(n²), good average quality;
+* :func:`greedy_edge_tour` — O(n² log n) greedy edge matching;
+* :func:`double_mst_tour` — the classic 2-approximation (MST preorder);
+* :func:`christofides_tour` — the 1.5-approximation via networkx's
+  implementation (min-weight matching on odd-degree MST nodes).
+
+:func:`build_tsp_order` is the front door: it injects the depot, runs
+the chosen construction and rotates the cycle so the order starts just
+after the depot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Mapping, Sequence
+
+import networkx as nx
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import Point, PointLike
+
+#: Sentinel id for the depot inside TSP constructions. Sensor ids are
+#: non-negative integers, so the sentinel can never collide.
+DEPOT: Hashable = "DEPOT"
+
+_METHODS = ("nearest_neighbor", "greedy_edge", "double_mst", "christofides")
+
+
+def _distance_lookup(
+    positions: Mapping[Hashable, PointLike]
+) -> Callable[[Hashable, Hashable], float]:
+    def dist(a: Hashable, b: Hashable) -> float:
+        return euclidean(positions[a], positions[b])
+
+    return dist
+
+
+def nearest_neighbor_tour(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    start: Hashable,
+) -> List[Hashable]:
+    """Nearest-neighbour construction starting from ``start``.
+
+    Returns the full cycle order beginning with ``start``.
+    """
+    dist = _distance_lookup(positions)
+    remaining = set(nodes)
+    remaining.discard(start)
+    order = [start]
+    current = start
+    while remaining:
+        nxt = min(remaining, key=lambda n: (dist(current, n), str(n)))
+        order.append(nxt)
+        remaining.remove(nxt)
+        current = nxt
+    return order
+
+
+def greedy_edge_tour(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    start: Hashable,
+) -> List[Hashable]:
+    """Greedy-edge construction: repeatedly add the globally shortest
+    edge that keeps degrees ≤ 2 and forms no premature subcycle.
+
+    Returns the cycle order rotated to begin with ``start``.
+    """
+    all_nodes = list(dict.fromkeys(list(nodes) + [start]))
+    if len(all_nodes) == 1:
+        return [start]
+    if len(all_nodes) == 2:
+        return [start, next(n for n in all_nodes if n != start)]
+    dist = _distance_lookup(positions)
+    edges = sorted(
+        (
+            (dist(a, b), i, j)
+            for i, a in enumerate(all_nodes)
+            for j, b in enumerate(all_nodes)
+            if i < j
+        ),
+    )
+    degree = [0] * len(all_nodes)
+    # Union-find over node indices to reject premature cycles.
+    parent = list(range(len(all_nodes)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    adj: Dict[int, List[int]] = {i: [] for i in range(len(all_nodes))}
+    added = 0
+    for _, i, j in edges:
+        if added == len(all_nodes) - 1:
+            break
+        if degree[i] >= 2 or degree[j] >= 2:
+            continue
+        ri, rj = find(i), find(j)
+        if ri == rj:
+            continue
+        parent[ri] = rj
+        degree[i] += 1
+        degree[j] += 1
+        adj[i].append(j)
+        adj[j].append(i)
+        added += 1
+    # Close the Hamiltonian path: exactly two endpoints have degree 1.
+    endpoints = [i for i in range(len(all_nodes)) if degree[i] == 1]
+    assert len(endpoints) == 2, "greedy edge construction left a broken path"
+    adj[endpoints[0]].append(endpoints[1])
+    adj[endpoints[1]].append(endpoints[0])
+    # Walk the cycle.
+    start_idx = all_nodes.index(start)
+    order_idx = [start_idx]
+    prev = None
+    current = start_idx
+    while True:
+        nxt = next(n for n in adj[current] if n != prev)
+        if nxt == start_idx:
+            break
+        order_idx.append(nxt)
+        prev, current = current, nxt
+    return [all_nodes[i] for i in order_idx]
+
+
+def _complete_graph(
+    nodes: Sequence[Hashable], positions: Mapping[Hashable, PointLike]
+) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    dist = _distance_lookup(positions)
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            graph.add_edge(a, b, weight=dist(a, b))
+    return graph
+
+
+def double_mst_tour(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    start: Hashable,
+) -> List[Hashable]:
+    """The MST-doubling 2-approximation: preorder walk of a minimum
+    spanning tree rooted at ``start``.
+
+    The MST is computed with scipy's sparse-graph routine on the dense
+    distance matrix — O(n²) memory but far faster than building a
+    complete ``networkx`` graph for the hundreds-of-nodes instances the
+    simulator produces.
+    """
+    all_nodes = list(dict.fromkeys(list(nodes) + [start]))
+    if len(all_nodes) <= 2:
+        return all_nodes if all_nodes[0] == start else all_nodes[::-1]
+    import numpy as np
+    from scipy.sparse.csgraph import minimum_spanning_tree as _scipy_mst
+
+    coords = np.asarray(
+        [(positions[n][0], positions[n][1]) for n in all_nodes], dtype=float
+    )
+    deltas = coords[:, None, :] - coords[None, :, :]
+    dist = np.sqrt((deltas**2).sum(axis=2))
+    mst_matrix = _scipy_mst(dist).tocoo()
+    mst = nx.Graph()
+    mst.add_nodes_from(range(len(all_nodes)))
+    for i, j in zip(mst_matrix.row, mst_matrix.col):
+        mst.add_edge(int(i), int(j))
+    order_idx = nx.dfs_preorder_nodes(mst, source=all_nodes.index(start))
+    return [all_nodes[i] for i in order_idx]
+
+
+def christofides_tour(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    start: Hashable,
+) -> List[Hashable]:
+    """Christofides' 1.5-approximation (networkx implementation),
+    rotated to begin with ``start``.
+
+    Falls back to :func:`double_mst_tour` for instances too small for
+    the matching step.
+    """
+    all_nodes = list(dict.fromkeys(list(nodes) + [start]))
+    if len(all_nodes) <= 3:
+        return double_mst_tour(nodes, positions, start)
+    cycle = nx.approximation.christofides(_complete_graph(all_nodes, positions))
+    # networkx returns a closed walk with the first node repeated last.
+    order = cycle[:-1]
+    pivot = order.index(start)
+    return order[pivot:] + order[:pivot]
+
+
+def build_tsp_order(
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    method: str = "christofides",
+) -> List[Hashable]:
+    """Build a closed tour through ``nodes`` rooted at the depot.
+
+    The depot joins the instance as the sentinel :data:`DEPOT`; the
+    returned order lists only the real nodes, in visit order starting
+    with the first node after leaving the depot.
+
+    Raises:
+        ValueError: on an unknown method.
+    """
+    if method not in _METHODS:
+        raise ValueError(
+            f"unknown TSP method {method!r}; expected one of {_METHODS}"
+        )
+    node_list = list(nodes)
+    if not node_list:
+        return []
+    if len(node_list) == 1:
+        return node_list
+    pos: Dict[Hashable, PointLike] = {n: positions[n] for n in node_list}
+    pos[DEPOT] = depot
+    builder = {
+        "nearest_neighbor": nearest_neighbor_tour,
+        "greedy_edge": greedy_edge_tour,
+        "double_mst": double_mst_tour,
+        "christofides": christofides_tour,
+    }[method]
+    cycle = builder(node_list + [DEPOT], pos, DEPOT)
+    assert cycle[0] == DEPOT
+    return cycle[1:]

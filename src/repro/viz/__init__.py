@@ -1,0 +1,13 @@
+"""SVG visualization of deployments, schedules and trajectories.
+
+Dependency-free SVG rendering so a user can *look* at what the
+scheduler produced: sensor deployments with charging disks, per-vehicle
+tours, and the conflict structure. See
+:mod:`repro.viz.svg` for the drawing primitives and
+:mod:`repro.viz.render` for the high-level scene builders.
+"""
+
+from repro.viz.render import render_network, render_schedule
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["SvgCanvas", "render_network", "render_schedule"]

@@ -1,0 +1,177 @@
+"""A minimal SVG canvas.
+
+Just enough of SVG for this library's figures: circles, lines,
+polylines, rectangles and text, with a y-flip so world coordinates
+(metres, origin bottom-left) render the way network figures are drawn.
+No third-party dependencies; output is a plain XML string.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+Color = str
+
+
+class SvgCanvas:
+    """An SVG drawing surface over a rectangular world region.
+
+    Args:
+        world_width / world_height: extent of the world region, metres.
+        pixels_per_meter: output scale.
+        margin_px: blank border around the drawing.
+    """
+
+    def __init__(
+        self,
+        world_width: float,
+        world_height: float,
+        pixels_per_meter: float = 8.0,
+        margin_px: float = 20.0,
+    ):
+        if world_width <= 0 or world_height <= 0:
+            raise ValueError("world dimensions must be positive")
+        if pixels_per_meter <= 0:
+            raise ValueError("scale must be positive")
+        self.world_width = world_width
+        self.world_height = world_height
+        self.scale = pixels_per_meter
+        self.margin = margin_px
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def width_px(self) -> float:
+        return self.world_width * self.scale + 2 * self.margin
+
+    @property
+    def height_px(self) -> float:
+        return self.world_height * self.scale + 2 * self.margin
+
+    def to_px(self, x: float, y: float) -> Tuple[float, float]:
+        """World (metres, y-up) to pixel (y-down) coordinates."""
+        px = self.margin + x * self.scale
+        py = self.margin + (self.world_height - y) * self.scale
+        return (px, py)
+
+    # ------------------------------------------------------------------
+
+    def circle(
+        self,
+        x: float,
+        y: float,
+        radius_m: float,
+        fill: Color = "none",
+        stroke: Color = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        """A circle at world position with world-scaled radius."""
+        cx, cy = self.to_px(x, y)
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" '
+            f'r="{radius_m * self.scale:.2f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity}"/>'
+        )
+
+    def dot(
+        self, x: float, y: float, radius_px: float = 2.5,
+        fill: Color = "black",
+    ) -> None:
+        """A fixed-pixel-size marker at a world position."""
+        cx, cy = self.to_px(x, y)
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius_px:.2f}" '
+            f'fill="{fill}"/>'
+        )
+
+    def line(
+        self,
+        a: Tuple[float, float],
+        b: Tuple[float, float],
+        stroke: Color = "black",
+        stroke_width: float = 1.0,
+        dashed: bool = False,
+    ) -> None:
+        x1, y1 = self.to_px(*a)
+        x2, y2 = self.to_px(*b)
+        dash = ' stroke-dasharray="4 3"' if dashed else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}"{dash}/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: Color = "black",
+        stroke_width: float = 1.5,
+        opacity: float = 1.0,
+    ) -> None:
+        if len(points) < 2:
+            return
+        px = " ".join(
+            "{:.2f},{:.2f}".format(*self.to_px(x, y)) for x, y in points
+        )
+        self._elements.append(
+            f'<polyline points="{px}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width_m: float,
+        height_m: float,
+        fill: Color = "none",
+        stroke: Color = "black",
+    ) -> None:
+        """Axis-aligned rectangle; (x, y) is the bottom-left corner."""
+        px, py = self.to_px(x, y + height_m)
+        self._elements.append(
+            f'<rect x="{px:.2f}" y="{py:.2f}" '
+            f'width="{width_m * self.scale:.2f}" '
+            f'height="{height_m * self.scale:.2f}" fill="{fill}" '
+            f'stroke="{stroke}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size_px: float = 11.0,
+        fill: Color = "black",
+        anchor: str = "start",
+    ) -> None:
+        px, py = self.to_px(x, y)
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size_px}" '
+            f'fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px:.0f}" height="{self.height_px:.0f}" '
+            f'viewBox="0 0 {self.width_px:.0f} {self.height_px:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n"
+            f"</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        """Write the document to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.charging import ChargerSpec
+from repro.network.topology import WRSN, random_wrsn
+
+
+@pytest.fixture
+def charger() -> ChargerSpec:
+    """Paper-default MCV parameters."""
+    return ChargerSpec()
+
+
+@pytest.fixture
+def small_net() -> WRSN:
+    """A 60-sensor network, batteries full."""
+    return random_wrsn(num_sensors=60, seed=42)
+
+
+@pytest.fixture
+def depleted_net() -> WRSN:
+    """A 60-sensor network with residuals uniform in [0, 20%]."""
+    net = random_wrsn(num_sensors=60, seed=42)
+    rng = np.random.default_rng(7)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0.0, 0.2)) * 10_800.0
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net
+
+
+@pytest.fixture
+def medium_depleted_net() -> WRSN:
+    """A 200-sensor network with residuals uniform in [0, 20%]."""
+    net = random_wrsn(num_sensors=200, seed=11)
+    rng = np.random.default_rng(13)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0.0, 0.2)) * 10_800.0
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net

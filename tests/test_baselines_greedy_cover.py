@@ -1,0 +1,45 @@
+"""Unit tests for :mod:`repro.baselines.greedy_cover`."""
+
+import pytest
+
+from repro.baselines.greedy_cover import greedy_cover_schedule
+from repro.core.appro import appro_schedule
+from repro.core.validation import validate_schedule
+
+
+class TestGreedyCover:
+    def test_covers_all_requests(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = greedy_cover_schedule(depleted_net, requests, 2)
+        assert sched.covered_sensors() == set(requests)
+
+    def test_feasible_after_repair(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = greedy_cover_schedule(depleted_net, requests, 2)
+        assert validate_schedule(sched, requests) == []
+
+    def test_invalid_k(self, depleted_net):
+        with pytest.raises(ValueError):
+            greedy_cover_schedule(depleted_net, [0], 0)
+
+    def test_empty_requests(self, depleted_net):
+        sched = greedy_cover_schedule(depleted_net, [], 2)
+        assert sched.longest_delay() == 0.0
+
+    def test_fewer_stops_than_appro(self, medium_depleted_net):
+        """Greedy set cover picks at most as many stops as the MIS
+        route (it optimises coverage per stop)."""
+        requests = medium_depleted_net.all_sensor_ids()
+        greedy = greedy_cover_schedule(medium_depleted_net, requests, 2)
+        appro = appro_schedule(medium_depleted_net, requests, 2)
+        assert len(greedy.scheduled_stops()) <= len(
+            appro.scheduled_stops()
+        )
+
+    def test_without_repair_may_conflict_but_covers(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = greedy_cover_schedule(
+            depleted_net, requests, 2, enforce_feasibility=False
+        )
+        violations = validate_schedule(sched, requests)
+        assert not any(v.kind == "coverage" for v in violations)

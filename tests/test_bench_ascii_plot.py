@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.bench.ascii_plot`."""
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_plot, plot_experiment
+from repro.bench.runner import ExperimentResult
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        text = ascii_plot(
+            [1, 2, 3],
+            {"Appro": [1.0, 2.0, 3.0], "AA": [3.0, 4.0, 5.0]},
+            title="My plot",
+        )
+        assert "My plot" in text
+        assert "o=Appro" in text
+        assert "*=AA" in text
+
+    def test_glyphs_present(self):
+        text = ascii_plot([0, 1], {"A": [0.0, 1.0]})
+        assert "o" in text
+
+    def test_y_labels(self):
+        text = ascii_plot(
+            [0, 1], {"A": [5.0, 10.0]}, y_label="h"
+        )
+        assert "10 h" in text
+        assert "5 h" in text
+
+    def test_empty_x(self):
+        assert "(no data)" in ascii_plot([], {}, title="t")
+
+    def test_constant_series_ok(self):
+        text = ascii_plot([0, 1, 2], {"A": [4.0, 4.0, 4.0]})
+        assert "o" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot([1, 2], {"A": [1.0]})
+
+    def test_x_axis_bounds_printed(self):
+        text = ascii_plot([200, 1200], {"A": [1.0, 2.0]})
+        assert "200" in text
+        assert "1200" in text
+
+    def test_dimensions(self):
+        text = ascii_plot(
+            [0, 1], {"A": [0.0, 1.0]}, width=30, height=8, title="t"
+        )
+        lines = text.splitlines()
+        # title + height+1 grid rows + axis + x labels + legend.
+        assert len(lines) == 1 + 9 + 3
+
+
+class TestPlotExperiment:
+    def test_plot_from_result(self):
+        result = ExperimentResult(name="fig", x_label="n")
+        result.x_values = [200, 400, 600]
+        result.mean_longest_delay_h = {
+            "Appro": [1.0, 2.0, 3.0],
+            "AA": [2.0, 4.0, 8.0],
+        }
+        text = plot_experiment(
+            result, "longest_delay_h", "Fig", "h"
+        )
+        assert "Appro" in text
+        assert "Fig" in text

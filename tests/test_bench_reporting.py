@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.bench.reporting`."""
+
+import pytest
+
+from repro.bench.reporting import (
+    format_series_table,
+    improvement_over_best_baseline,
+    series_to_rows,
+)
+from repro.bench.runner import ExperimentResult
+
+
+def make_result():
+    result = ExperimentResult(name="figX", x_label="n", instances=3)
+    result.x_values = [200, 400]
+    result.mean_longest_delay_h = {
+        "Appro": [10.0, 20.0],
+        "AA": [40.0, 100.0],
+        "K-EDF": [30.0, 60.0],
+    }
+    result.avg_dead_min = {
+        "Appro": [1.0, 2.0],
+        "AA": [50.0, 500.0],
+        "K-EDF": [20.0, 80.0],
+    }
+    return result
+
+
+class TestSeriesToRows:
+    def test_rows(self):
+        rows = series_to_rows(make_result(), "longest_delay_h")
+        assert rows[0][0] == 200
+        assert rows[0][1]["Appro"] == 10.0
+        assert rows[1][1]["AA"] == 100.0
+
+
+class TestFormatSeriesTable:
+    def test_contains_all_cells(self):
+        text = format_series_table(
+            make_result(), "longest_delay_h", "Fig X(a)", "hours"
+        )
+        assert "Fig X(a)" in text
+        assert "hours" in text
+        assert "Appro" in text and "AA" in text
+        assert "10.00" in text and "100.00" in text
+        assert "instances=3" in text
+
+    def test_row_count(self):
+        text = format_series_table(
+            make_result(), "dead_min", "Fig X(b)", "minutes"
+        )
+        # title + header + rule + 2 data rows.
+        assert len(text.splitlines()) == 5
+
+    def test_alignment_consistent(self):
+        lines = format_series_table(
+            make_result(), "dead_min", "t", "m"
+        ).splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1
+
+
+class TestImprovement:
+    def test_improvement_over_best_baseline(self):
+        result = make_result()
+        gains = improvement_over_best_baseline(result, "longest_delay_h")
+        # Best baseline at n=200 is K-EDF (30); Appro 10 -> 2/3 shorter.
+        assert gains[0] == pytest.approx(1 - 10 / 30)
+        assert gains[1] == pytest.approx(1 - 20 / 60)
+
+    def test_unknown_reference(self):
+        with pytest.raises(KeyError):
+            improvement_over_best_baseline(
+                make_result(), "dead_min", reference="Zzz"
+            )

@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.bench.runner` (tiny scales)."""
+
+import pytest
+
+from repro.bench.runner import (
+    ExperimentResult,
+    SweepPoint,
+    run_sweep,
+    simulate_once,
+)
+from repro.bench.workloads import PaperParams
+
+TINY = PaperParams(num_sensors=40, num_chargers=1)
+SHORT = 5 * 86400.0
+
+
+class TestSimulateOnce:
+    def test_returns_metrics(self):
+        metrics = simulate_once(TINY, "K-EDF", seed=1, horizon_s=SHORT)
+        assert metrics.horizon_s == SHORT
+        assert metrics.num_sensors == 40
+
+
+class TestRunSweep:
+    def test_structure(self):
+        points = [
+            SweepPoint(label=40, params=TINY),
+            SweepPoint(
+                label=60, params=TINY.with_overrides(num_sensors=60)
+            ),
+        ]
+        result = run_sweep(
+            "tiny", "n", points, algorithms=("K-EDF", "AA"),
+            instances=1, horizon_s=SHORT,
+        )
+        assert result.x_values == [40, 60]
+        assert set(result.mean_longest_delay_h) == {"K-EDF", "AA"}
+        assert len(result.mean_longest_delay_h["K-EDF"]) == 2
+        assert len(result.avg_dead_min["AA"]) == 2
+
+    def test_invalid_instances(self):
+        with pytest.raises(ValueError):
+            run_sweep("x", "n", [], instances=0)
+
+    def test_progress_callback(self):
+        lines = []
+        run_sweep(
+            "cb", "n", [SweepPoint(label=40, params=TINY)],
+            algorithms=("K-EDF",), instances=1, horizon_s=SHORT,
+            progress=lines.append,
+        )
+        assert len(lines) == 1
+        assert "K-EDF" in lines[0]
+
+
+class TestExperimentResult:
+    def test_series_lookup(self):
+        result = ExperimentResult(name="x", x_label="n")
+        result.mean_longest_delay_h["A"] = [1.0]
+        result.avg_dead_min["A"] = [2.0]
+        assert result.series("longest_delay_h") == {"A": [1.0]}
+        assert result.series("dead_min") == {"A": [2.0]}
+        with pytest.raises(KeyError):
+            result.series("nope")
+
+    def test_algorithms(self):
+        result = ExperimentResult(name="x", x_label="n")
+        result.mean_longest_delay_h["B"] = []
+        assert result.algorithms() == ["B"]

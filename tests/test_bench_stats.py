@@ -1,0 +1,91 @@
+"""Unit tests for :mod:`repro.bench.stats`."""
+
+import math
+
+import pytest
+
+from repro.bench.stats import (
+    Summary,
+    geometric_mean,
+    paired_speedups,
+    percentile,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.n == 1
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci95_half_width == 0.0
+
+    def test_known_sample(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.ci95_half_width == pytest.approx(
+            1.959963984540054 * 2.0 / math.sqrt(3)
+        )
+
+    def test_ci_interval(self):
+        s = summarize([10.0, 10.0, 10.0, 10.0])
+        lo, hi = s.ci95
+        assert lo == hi == 10.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariance(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(
+            geometric_mean([4.0, 4.0])
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_single(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestPairedSpeedups:
+    def test_ratios(self):
+        assert paired_speedups([10.0, 20.0], [5.0, 10.0]) == [2.0, 2.0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            paired_speedups([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_speedups([1.0], [0.0])

@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.bench.workloads`."""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import (
+    DEFAULT_BENCH_HORIZON_DAYS,
+    DEFAULT_BENCH_INSTANCES,
+    ENV_HORIZON_DAYS,
+    ENV_INSTANCES,
+    PaperParams,
+    bench_horizon_s,
+    bench_instances,
+    make_instance,
+)
+
+
+class TestPaperParams:
+    def test_paper_defaults(self):
+        p = PaperParams()
+        assert p.capacity_j == 10_800.0
+        assert p.charge_radius_m == 2.7
+        assert p.charge_rate_w == 2.0
+        assert p.travel_speed_mps == 1.0
+        assert p.request_threshold == 0.2
+        assert p.b_min_bps == 1_000.0
+        assert p.b_max_bps == 50_000.0
+        assert p.field_size_m == 100.0
+        assert p.horizon_s == 365 * 24 * 3600
+
+    def test_charger_spec(self):
+        spec = PaperParams().charger()
+        assert spec.charge_rate_w == 2.0
+        assert spec.charge_radius_m == 2.7
+
+    def test_with_overrides(self):
+        p = PaperParams().with_overrides(num_sensors=600, num_chargers=4)
+        assert p.num_sensors == 600
+        assert p.num_chargers == 4
+        assert p.capacity_j == 10_800.0  # untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PaperParams().num_sensors = 5
+
+
+class TestMakeInstance:
+    def test_size_and_determinism(self):
+        p = PaperParams(num_sensors=80)
+        a = make_instance(p, seed=3)
+        b = make_instance(p, seed=3)
+        assert len(a) == 80
+        assert a.positions() == b.positions()
+        assert [s.residual_j for s in a.sensors()] == [
+            s.residual_j for s in b.sensors()
+        ]
+
+    def test_initial_levels_above_threshold(self):
+        p = PaperParams(num_sensors=100)
+        net = make_instance(p, seed=1)
+        low = p.request_threshold + p.initial_margin
+        for s in net.sensors():
+            assert s.battery.fraction >= low - 1e-9
+
+    def test_depot_at_center(self):
+        net = make_instance(PaperParams(num_sensors=10), seed=2)
+        assert net.depot.position.as_tuple() == (50.0, 50.0)
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(ENV_INSTANCES, raising=False)
+        monkeypatch.delenv(ENV_HORIZON_DAYS, raising=False)
+        assert bench_instances() == DEFAULT_BENCH_INSTANCES
+        assert bench_horizon_s() == DEFAULT_BENCH_HORIZON_DAYS * 86400.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_INSTANCES, "7")
+        monkeypatch.setenv(ENV_HORIZON_DAYS, "365")
+        assert bench_instances() == 7
+        assert bench_horizon_s() == pytest.approx(365 * 86400.0)
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_INSTANCES, "0")
+        with pytest.raises(ValueError):
+            bench_instances()
+        monkeypatch.setenv(ENV_HORIZON_DAYS, "-1")
+        with pytest.raises(ValueError):
+            bench_horizon_s()

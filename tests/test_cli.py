@@ -1,0 +1,145 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.json"])
+        assert args.command == "generate"
+        assert args.num_sensors == 500
+        assert not args.deplete
+
+    def test_schedule_algorithm_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["schedule", "x.json", "-a", "NotAnAlg"]
+            )
+
+    def test_bench_figure_choices(self):
+        args = build_parser().parse_args(["bench", "fig3"])
+        assert args.figure == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig9"])
+
+    def test_simulate_accepts_online(self):
+        args = build_parser().parse_args(
+            ["simulate", "-a", "Appro-Online"]
+        )
+        assert args.algorithm == "Appro-Online"
+
+
+class TestCommands:
+    def test_generate_writes_instance(self, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        code = main(
+            ["generate", str(out), "-n", "50", "--seed", "1", "--deplete"]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert len(data["sensors"]) == 50
+        # All depleted below 20%.
+        assert all(
+            s["level_j"] < 0.2 * s["capacity_j"] for s in data["sensors"]
+        )
+        assert "wrote" in capsys.readouterr().out
+
+    def test_schedule_roundtrip(self, tmp_path, capsys):
+        net_path = tmp_path / "net.json"
+        sched_path = tmp_path / "sched.json"
+        assert main(
+            ["generate", str(net_path), "-n", "60", "--seed", "2",
+             "--deplete"]
+        ) == 0
+        code = main(
+            [
+                "schedule", str(net_path), "-a", "Appro", "-k", "2",
+                "--threshold", "1.0", "--validate",
+                "-o", str(sched_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "longest delay" in out
+        assert "violations     : 0" in out
+        report = json.loads(sched_path.read_text())
+        assert report["algorithm"] == "Appro"
+
+    def test_schedule_no_requests(self, tmp_path, capsys):
+        net_path = tmp_path / "net.json"
+        main(["generate", str(net_path), "-n", "20", "--seed", "3"])
+        code = main(["schedule", str(net_path)])
+        assert code == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_schedule_baseline_no_validator(self, tmp_path, capsys):
+        net_path = tmp_path / "net.json"
+        main(
+            ["generate", str(net_path), "-n", "30", "--seed", "4",
+             "--deplete"]
+        )
+        code = main(
+            ["schedule", str(net_path), "-a", "K-EDF",
+             "--threshold", "1.0", "--validate"]
+        )
+        assert code == 0
+        assert "n/a" in capsys.readouterr().out
+
+    def test_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "-a", "K-EDF", "-n", "40", "-k", "1",
+             "--days", "5", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean longest tour duration" in out
+
+    def test_simulate_online_runs(self, capsys):
+        code = main(
+            ["simulate", "-a", "Appro-Online", "-n", "40", "-k", "2",
+             "--days", "5", "--seed", "6"]
+        )
+        assert code == 0
+        assert "Appro-Online" in capsys.readouterr().out
+
+    def test_compare_runs(self, capsys):
+        code = main(["compare", "-n", "60", "-k", "2", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("Appro", "K-EDF", "NETWRAP", "AA", "K-minMax"):
+            assert name in out
+
+    def test_inspect_runs(self, tmp_path, capsys):
+        net_path = tmp_path / "net.json"
+        main(
+            ["generate", str(net_path), "-n", "80", "--seed", "8",
+             "--deplete"]
+        )
+        code = main(["inspect", str(net_path), "-k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load factor" in out
+        assert "sojourn candidates" in out
+        assert "mean disk occupancy" in out
+
+    def test_inspect_threshold_filters(self, tmp_path, capsys):
+        net_path = tmp_path / "net.json"
+        main(["generate", str(net_path), "-n", "40", "--seed", "9"])
+        code = main(
+            ["inspect", str(net_path), "--threshold", "0.2"]
+        )
+        assert code == 0
+        assert "analysed request set    : 0" in capsys.readouterr().out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        code = main(["schedule", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Unit and integration tests for :mod:`repro.core.appro`."""
+
+import numpy as np
+import pytest
+
+from repro.core.appro import appro_schedule, appro_schedule_with_artifacts
+from repro.core.ratio import delta_h_bound
+from repro.core.validation import validate_schedule
+from repro.energy.charging import ChargerSpec
+from repro.graphs.mis import is_maximal_independent_set
+from repro.network.topology import random_wrsn
+
+
+def depleted(net, seed=0, low=0.0, high=0.2):
+    rng = np.random.default_rng(seed)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(low, high)) * net.sensor(sid).capacity_j
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net
+
+
+class TestApproBasics:
+    def test_invalid_k(self, small_net):
+        with pytest.raises(ValueError):
+            appro_schedule(small_net, [0], num_chargers=0)
+
+    def test_unknown_request(self, small_net):
+        with pytest.raises(ValueError, match="not in the network"):
+            appro_schedule(small_net, [10_000], num_chargers=1)
+
+    def test_empty_requests(self, small_net):
+        sched = appro_schedule(small_net, [], num_chargers=2)
+        assert sched.longest_delay() == 0.0
+        assert all(not t for t in sched.tours)
+
+    def test_single_request(self, depleted_net):
+        sid = depleted_net.all_sensor_ids()[0]
+        sched = appro_schedule(depleted_net, [sid], num_chargers=2)
+        assert sid in sched.covered_sensors()
+        assert validate_schedule(sched, [sid]) == []
+
+    def test_num_tours(self, depleted_net):
+        for k in (1, 2, 3):
+            sched = appro_schedule(
+                depleted_net, depleted_net.all_sensor_ids(), num_chargers=k
+            )
+            assert sched.num_tours == k
+
+
+class TestApproFeasibility:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_full_request_set_feasible(self, depleted_net, k):
+        requests = depleted_net.all_sensor_ids()
+        sched = appro_schedule(depleted_net, requests, num_chargers=k)
+        assert validate_schedule(sched, requests) == []
+
+    def test_partial_request_set_feasible(self, medium_depleted_net):
+        requests = medium_depleted_net.all_sensor_ids()[::3]
+        sched = appro_schedule(medium_depleted_net, requests, num_chargers=2)
+        assert validate_schedule(sched, requests) == []
+
+    def test_without_enforcement_coverage_still_holds(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = appro_schedule(
+            depleted_net, requests, num_chargers=2, enforce_feasibility=False
+        )
+        violations = validate_schedule(sched, requests)
+        assert not any(v.kind == "coverage" for v in violations)
+        assert not any(v.kind == "disjointness" for v in violations)
+
+    def test_mis_strategies_all_feasible(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        for strategy in ("min_degree", "lexicographic", "random"):
+            sched = appro_schedule(
+                depleted_net, requests, num_chargers=2,
+                mis_strategy=strategy, seed=3,
+            )
+            assert validate_schedule(sched, requests) == []
+
+
+class TestApproArtifacts:
+    def test_artifacts_consistent(self, medium_depleted_net):
+        requests = medium_depleted_net.all_sensor_ids()
+        sched, art = appro_schedule_with_artifacts(
+            medium_depleted_net, requests, 2
+        )
+        # S_I is an MIS of G_c; V'_H is an MIS of H.
+        assert is_maximal_independent_set(
+            art.charging_graph, art.sojourn_candidates
+        )
+        assert is_maximal_independent_set(
+            art.aux_graph, art.conflict_free_core
+        )
+        assert set(art.conflict_free_core) <= set(art.sojourn_candidates)
+        assert art.delta_h <= delta_h_bound()
+
+    def test_stops_subset_of_candidates(self, medium_depleted_net):
+        requests = medium_depleted_net.all_sensor_ids()
+        sched, art = appro_schedule_with_artifacts(
+            medium_depleted_net, requests, 2
+        )
+        assert set(sched.scheduled_stops()) <= set(art.sojourn_candidates)
+
+    def test_extension_outcomes_cover_remaining(self, medium_depleted_net):
+        requests = medium_depleted_net.all_sensor_ids()
+        sched, art = appro_schedule_with_artifacts(
+            medium_depleted_net, requests, 2
+        )
+        remaining = set(art.sojourn_candidates) - set(art.conflict_free_core)
+        assert set(art.insertion_outcomes) == remaining
+
+    def test_initial_delay_no_more_than_final(self, medium_depleted_net):
+        requests = medium_depleted_net.all_sensor_ids()
+        sched, art = appro_schedule_with_artifacts(
+            medium_depleted_net, requests, 2
+        )
+        assert art.initial_longest_delay <= sched.longest_delay() + 1e-6
+
+
+class TestApproQuality:
+    def test_multi_node_beats_one_to_one_on_dense_instance(self):
+        """On a dense network the multi-node schedule must finish well
+        before one-to-one charging of every sensor."""
+        from repro.baselines.kminmax_baseline import (
+            kminmax_baseline_schedule,
+        )
+
+        net = depleted(random_wrsn(num_sensors=400, seed=5), seed=6)
+        requests = net.all_sensor_ids()
+        appro = appro_schedule(net, requests, num_chargers=2)
+        baseline = kminmax_baseline_schedule(net, requests, num_chargers=2)
+        assert appro.longest_delay() < 0.85 * baseline.longest_delay()
+
+    def test_more_chargers_shorter_delay(self, medium_depleted_net):
+        requests = medium_depleted_net.all_sensor_ids()
+        d1 = appro_schedule(
+            medium_depleted_net, requests, num_chargers=1
+        ).longest_delay()
+        d3 = appro_schedule(
+            medium_depleted_net, requests, num_chargers=3
+        ).longest_delay()
+        assert d3 <= d1
+
+    def test_all_sensors_charged_exactly_once(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = appro_schedule(depleted_net, requests, num_chargers=2)
+        owners = {}
+        for node, charged in sched.charges.items():
+            for sensor in charged:
+                assert sensor not in owners
+                owners[sensor] = node
+        assert set(owners) == set(requests)

@@ -1,0 +1,144 @@
+"""Unit tests for :mod:`repro.core.insertion`."""
+
+import networkx as nx
+import pytest
+
+from repro.core.insertion import (
+    choose_insertion_anchor,
+    extend_schedule,
+    insertion_case,
+    latest_neighbor_finish,
+    scheduled_neighbors,
+)
+from repro.core.schedule import ChargingSchedule
+from repro.energy.charging import ChargerSpec
+from repro.geometry.point import Point
+
+
+def build_fixture():
+    """Candidates 10, 20, 30 scheduled; 15 (neighbour of 10 and 20) and
+    25 (neighbour of 20 only) pending."""
+    positions = {
+        10: Point(10, 0),
+        15: Point(15, 0),
+        20: Point(20, 0),
+        25: Point(25, 0),
+        30: Point(40, 0),
+    }
+    coverage = {
+        10: frozenset({10, 1}),
+        15: frozenset({15, 1, 2}),
+        20: frozenset({20, 2, 3}),
+        25: frozenset({25, 3}),
+        30: frozenset({30}),
+    }
+    charge_times = {
+        1: 100.0, 2: 100.0, 3: 100.0, 10: 50.0, 15: 50.0, 20: 50.0,
+        25: 50.0, 30: 50.0,
+    }
+    sched = ChargingSchedule(
+        depot=Point(0, 0),
+        positions=positions,
+        coverage=coverage,
+        charge_times=charge_times,
+        charger=ChargerSpec(),
+        num_tours=2,
+    )
+    aux = nx.Graph()
+    aux.add_nodes_from([10, 15, 20, 25, 30])
+    aux.add_edge(10, 15)   # share sensor 1... (via coverage overlap)
+    aux.add_edge(15, 20)
+    aux.add_edge(20, 25)
+    return sched, aux
+
+
+class TestNeighborQueries:
+    def test_scheduled_neighbors_empty_initially(self):
+        sched, aux = build_fixture()
+        assert scheduled_neighbors(15, aux, sched) == []
+
+    def test_scheduled_neighbors_after_append(self):
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        sched.append_stop(1, 20)
+        assert sorted(scheduled_neighbors(15, aux, sched)) == [10, 20]
+
+    def test_latest_neighbor_finish(self):
+        sched, aux = build_fixture()
+        assert latest_neighbor_finish(15, aux, sched) is None
+        sched.append_stop(0, 10)
+        sched.append_stop(1, 20)
+        expected = max(sched.finish[10], sched.finish[20])
+        assert latest_neighbor_finish(15, aux, sched) == expected
+
+
+class TestAnchorChoice:
+    def test_requires_scheduled_neighbor(self):
+        sched, aux = build_fixture()
+        with pytest.raises(ValueError):
+            choose_insertion_anchor(15, aux, sched)
+
+    def test_picks_max_finish(self):
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        sched.append_stop(1, 20)
+        # 20 is farther out -> later finish.
+        tour, anchor = choose_insertion_anchor(15, aux, sched)
+        assert anchor == 20
+        assert tour == 1
+
+    def test_case_classification(self):
+        sched, aux = build_fixture()
+        assert insertion_case(15, aux, sched) == 0
+        sched.append_stop(0, 10)
+        assert insertion_case(15, aux, sched) == 1
+        sched.append_stop(1, 20)
+        assert insertion_case(15, aux, sched) == 2
+
+
+class TestExtendSchedule:
+    def test_inserts_after_anchor(self):
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        sched.append_stop(1, 20)
+        outcomes = extend_schedule(sched, [15], aux)
+        assert outcomes[15] == "case2"
+        # Inserted into tour 1 right after its anchor 20.
+        assert sched.tours[1] == [20, 15]
+
+    def test_skips_fully_covered(self):
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        sched.append_stop(1, 20)
+        # Candidate 25 covers {25, 3}; cover 25 and 3 first via a stop
+        # whose disk includes them.
+        sched.coverage[30] = frozenset({30, 25, 3})
+        sched.append_stop(0, 30)
+        outcomes = extend_schedule(sched, [25], aux)
+        assert outcomes[25] == "skipped"
+
+    def test_orphan_candidate_appended(self):
+        """A pending candidate with no H-neighbour at all must still be
+        scheduled (coverage is never dropped)."""
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        outcomes = extend_schedule(sched, [30], aux)
+        assert outcomes[30] == "appended"
+        assert sched.is_scheduled(30)
+
+    def test_processing_order_by_latest_finish(self):
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        sched.append_stop(1, 20)
+        outcomes = extend_schedule(sched, [15, 25], aux)
+        # Both insert; all sensors of both disks must be claimed.
+        assert sched.is_scheduled(15) and sched.is_scheduled(25)
+        covered = sched.covered_sensors()
+        assert {1, 2, 3, 25, 15} <= covered
+
+    def test_case1_single_tour(self):
+        sched, aux = build_fixture()
+        sched.append_stop(0, 10)
+        outcomes = extend_schedule(sched, [15], aux)
+        assert outcomes[15] == "case1"
+        assert sched.tours[0] == [10, 15]

@@ -1,0 +1,129 @@
+"""Unit tests for :mod:`repro.core.ratio`."""
+
+import math
+
+import pytest
+
+from repro.core.ratio import (
+    DELTA_H_BOUND,
+    approximation_ratio,
+    delta_h_bound,
+    empirical_lower_bound,
+    empirical_ratio,
+    ratio_from_delta,
+    threshold_tau_ratio,
+)
+from repro.energy.charging import ChargerSpec
+from repro.geometry.point import Point
+
+
+class TestDeltaBound:
+    def test_lemma2_constant(self):
+        assert delta_h_bound() == math.ceil(8 * math.pi) == 26
+        assert DELTA_H_BOUND == 26
+
+
+class TestApproximationRatio:
+    def test_theorem1_formula(self):
+        assert approximation_ratio(1.0, 1.0) == pytest.approx(
+            40 * math.pi + 1
+        )
+
+    def test_paper_threshold_example(self):
+        """With the 20% request threshold, tau_max/tau_min <= 1.25 and
+        rho = 50*pi + 1 ~= 158."""
+        ratio = threshold_tau_ratio(0.2)
+        assert ratio == pytest.approx(1.25)
+        assert approximation_ratio(ratio, 1.0) == pytest.approx(
+            40 * math.pi * 1.25 + 1
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(1.0, 0.0)
+        with pytest.raises(ValueError):
+            approximation_ratio(0.5, 1.0)
+
+    def test_ratio_from_delta_tighter_for_small_delta(self):
+        loose = approximation_ratio(1.25, 1.0)
+        tight = ratio_from_delta(5, 1.25, 1.0)
+        assert tight < loose
+
+    def test_ratio_from_delta_validation(self):
+        with pytest.raises(ValueError):
+            ratio_from_delta(-1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ratio_from_delta(1, 1.0, 0.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            threshold_tau_ratio(1.0)
+        with pytest.raises(ValueError):
+            threshold_tau_ratio(-0.1)
+
+
+class TestEmpiricalLowerBound:
+    def test_reach_bound(self):
+        positions = {0: Point(100, 0)}
+        charge_times = {0: 500.0}
+        spec = ChargerSpec(charge_radius_m=2.7, travel_speed_mps=1.0)
+        lb = empirical_lower_bound(
+            positions, charge_times, Point(0, 0), spec, num_chargers=3
+        )
+        assert lb == pytest.approx(2 * (100 - 2.7) + 500.0)
+
+    def test_sensor_inside_radius_contributes_charge_only(self):
+        positions = {0: Point(1.0, 0)}
+        charge_times = {0: 700.0}
+        lb = empirical_lower_bound(
+            positions, charge_times, Point(0, 0), ChargerSpec(), 1
+        )
+        assert lb == pytest.approx(700.0)
+
+    def test_empty(self):
+        assert empirical_lower_bound({}, {}, Point(0, 0), ChargerSpec(), 1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            empirical_lower_bound({}, {}, Point(0, 0), ChargerSpec(), 0)
+
+    def test_bound_is_valid_on_real_instance(self, depleted_net):
+        """The lower bound never exceeds what Appro achieves."""
+        from repro.core.appro import appro_schedule
+        from repro.energy.charging import full_charge_time
+
+        requests = depleted_net.all_sensor_ids()
+        spec = ChargerSpec()
+        sched = appro_schedule(depleted_net, requests, 2, charger=spec)
+        charge_times = {
+            sid: full_charge_time(
+                depleted_net.sensor(sid).capacity_j,
+                depleted_net.sensor(sid).residual_j,
+                spec.charge_rate_w,
+            )
+            for sid in requests
+        }
+        lb = empirical_lower_bound(
+            {sid: depleted_net.position_of(sid) for sid in requests},
+            charge_times,
+            depleted_net.depot.position,
+            spec,
+            2,
+        )
+        assert lb <= sched.longest_delay() + 1e-6
+        ratio = empirical_ratio(sched.longest_delay(), lb)
+        assert ratio is not None
+        # Far below the worst-case constant.
+        assert ratio < approximation_ratio(1.25, 1.0)
+
+
+class TestEmpiricalRatio:
+    def test_zero_bound(self):
+        assert empirical_ratio(10.0, 0.0) is None
+
+    def test_normal(self):
+        assert empirical_ratio(10.0, 4.0) == pytest.approx(2.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            empirical_ratio(-1.0, 1.0)

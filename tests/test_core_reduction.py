@@ -1,0 +1,93 @@
+"""Tests for :mod:`repro.core.reduction` — the executable NP-hardness
+reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.appro import appro_schedule
+from repro.core.reduction import (
+    ReductionGadget,
+    tsp_to_charging_instance,
+    verify_reduction,
+)
+from repro.core.validation import validate_schedule
+from repro.geometry.point import Point
+
+DEPOT = Point(0, 0)
+
+
+def random_cities(seed, n, lo=5.0, hi=60.0):
+    rng = np.random.default_rng(seed)
+    return [
+        Point(float(x), float(y))
+        for x, y in rng.uniform(lo, hi, size=(n, 2))
+    ]
+
+
+class TestGadgetConstruction:
+    def test_basic_shape(self):
+        cities = random_cities(1, 5)
+        gadget = tsp_to_charging_instance(cities, DEPOT)
+        assert len(gadget.network) == 5
+        assert gadget.depot == DEPOT
+        # Full batteries: zero charge times.
+        for s in gadget.network.sensors():
+            assert s.battery.deficit_j == 0.0
+
+    def test_singleton_disks(self):
+        cities = random_cities(2, 8)
+        gadget = tsp_to_charging_instance(cities, DEPOT)
+        radius = gadget.charger.charge_radius_m
+        for a in gadget.network.sensors():
+            for b in gadget.network.sensors():
+                if a.id != b.id:
+                    assert a.position.distance_to(b.position) > 2 * radius
+
+    def test_rejects_empty_and_coincident(self):
+        with pytest.raises(ValueError):
+            tsp_to_charging_instance([], DEPOT)
+        with pytest.raises(ValueError):
+            tsp_to_charging_instance(
+                [Point(1, 1), Point(1, 1)], DEPOT
+            )
+
+
+class TestReductionCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_optima_coincide(self, seed, n):
+        cities = random_cities(seed, n)
+        tsp_opt, charging_opt = verify_reduction(cities, DEPOT)
+        assert charging_opt == pytest.approx(tsp_opt)
+
+    def test_speed_scales_delay(self):
+        cities = random_cities(3, 4)
+        gadget_fast = tsp_to_charging_instance(cities, DEPOT, speed_mps=2.0)
+        gadget_slow = tsp_to_charging_instance(cities, DEPOT, speed_mps=1.0)
+        from repro.tours.exact import exact_k_minmax
+
+        _, fast = exact_k_minmax(
+            gadget_fast.request_ids, gadget_fast.network.positions(),
+            DEPOT, 1, 2.0, lambda v: 0.0,
+        )
+        _, slow = exact_k_minmax(
+            gadget_slow.request_ids, gadget_slow.network.positions(),
+            DEPOT, 1, 1.0, lambda v: 0.0,
+        )
+        assert fast == pytest.approx(slow / 2.0)
+
+    def test_appro_solves_the_gadget_feasibly(self):
+        """Appro on the gadget degenerates to a pure K-tour problem and
+        must stay feasible and within its guarantee regime."""
+        cities = random_cities(4, 9)
+        gadget = tsp_to_charging_instance(cities, DEPOT)
+        schedule = appro_schedule(
+            gadget.network, gadget.request_ids, num_chargers=1,
+            charger=gadget.charger,
+        )
+        assert validate_schedule(schedule, gadget.request_ids) == []
+        tsp_opt, _ = verify_reduction(cities, DEPOT)
+        # The approximate solution can't beat the optimum, and on these
+        # tiny instances stays well within 2x of it.
+        assert schedule.longest_delay() >= tsp_opt - 1e-6
+        assert schedule.longest_delay() <= 2.0 * tsp_opt

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.core.validation`."""
+
+import pytest
+
+from repro.core.schedule import ChargingSchedule
+from repro.core.validation import (
+    conflicting_pairs,
+    resolve_conflicts,
+    validate_schedule,
+)
+from repro.energy.charging import ChargerSpec
+from repro.geometry.point import Point
+
+
+def overlapping_fixture():
+    """Two candidates (1 and 2) whose disks share sensor 9; scheduling
+    them on different tours at the same time must be flagged."""
+    positions = {1: Point(10, 0), 2: Point(14, 0), 9: Point(12, 0)}
+    coverage = {
+        1: frozenset({1, 9}),
+        2: frozenset({2, 9}),
+    }
+    charge_times = {1: 500.0, 2: 500.0, 9: 500.0}
+    return ChargingSchedule(
+        depot=Point(0, 0),
+        positions=positions,
+        coverage=coverage,
+        charge_times=charge_times,
+        charger=ChargerSpec(),
+        num_tours=2,
+    )
+
+
+class TestConflictDetection:
+    def test_cross_tour_overlap_detected(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        pairs = conflicting_pairs(sched)
+        assert len(pairs) == 1
+        u, v, overlap = pairs[0]
+        assert {u, v} == {1, 2}
+        assert overlap > 0
+
+    def test_same_tour_never_conflicts(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(0, 2)
+        assert conflicting_pairs(sched) == []
+
+    def test_disjoint_disks_never_conflict(self):
+        sched = overlapping_fixture()
+        sched.coverage[2] = frozenset({2})
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        assert conflicting_pairs(sched) == []
+
+    def test_non_overlapping_intervals_ok(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        # Move stop 2's charging past stop 1's finish.
+        sched.add_wait(2, sched.finish[1])
+        assert conflicting_pairs(sched) == []
+
+
+class TestValidateSchedule:
+    def test_feasible_empty(self):
+        sched = overlapping_fixture()
+        assert validate_schedule(sched, required_sensors=[]) == []
+
+    def test_coverage_violation(self):
+        sched = overlapping_fixture()
+        violations = validate_schedule(sched, required_sensors=[9])
+        assert any(v.kind == "coverage" for v in violations)
+
+    def test_overlap_violation_reported(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        violations = validate_schedule(sched, required_sensors=[1, 2, 9])
+        kinds = {v.kind for v in violations}
+        assert "overlap" in kinds
+        assert "coverage" not in kinds
+
+    def test_disjointness_violation(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        # Bypass the API to corrupt the tours.
+        sched.tours[1].append(1)
+        violations = validate_schedule(sched, required_sensors=[])
+        assert any(v.kind == "disjointness" for v in violations)
+
+
+class TestResolveConflicts:
+    def test_repairs_overlap(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        waits = resolve_conflicts(sched)
+        assert waits >= 1
+        assert conflicting_pairs(sched) == []
+
+    def test_noop_when_feasible(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        assert resolve_conflicts(sched) == 0
+
+    def test_waits_increase_delay_but_keep_coverage(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        before = sched.longest_delay()
+        resolve_conflicts(sched)
+        assert sched.longest_delay() >= before
+        assert sched.covered_sensors() == {1, 2, 9}

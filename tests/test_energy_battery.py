@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.energy.battery`."""
+
+import math
+
+import pytest
+
+from repro.energy.battery import (
+    DEFAULT_CAPACITY_J,
+    DEFAULT_REQUEST_THRESHOLD,
+    Battery,
+)
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        battery = Battery()
+        assert battery.capacity_j == 10_800.0
+        assert battery.level_j == battery.capacity_j
+
+    def test_explicit_level(self):
+        battery = Battery(capacity_j=100.0, level_j=40.0)
+        assert battery.level_j == 40.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=0.0)
+
+    def test_level_above_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=100.0, level_j=150.0)
+
+
+class TestProperties:
+    def test_fraction(self):
+        battery = Battery(capacity_j=100.0, level_j=25.0)
+        assert battery.fraction == pytest.approx(0.25)
+
+    def test_deficit(self):
+        battery = Battery(capacity_j=100.0, level_j=25.0)
+        assert battery.deficit_j == pytest.approx(75.0)
+
+    def test_is_depleted(self):
+        assert Battery(capacity_j=100.0, level_j=0.0).is_depleted()
+        assert not Battery(capacity_j=100.0, level_j=0.1).is_depleted()
+
+    def test_below_threshold(self):
+        battery = Battery(capacity_j=100.0, level_j=19.0)
+        assert battery.below_threshold(0.2)
+        assert not Battery(capacity_j=100.0, level_j=20.0).below_threshold(0.2)
+
+    def test_below_threshold_invalid(self):
+        with pytest.raises(ValueError):
+            Battery().below_threshold(1.5)
+
+
+class TestDeplete:
+    def test_normal(self):
+        battery = Battery(capacity_j=100.0, level_j=50.0)
+        assert battery.deplete(20.0) == 20.0
+        assert battery.level_j == pytest.approx(30.0)
+
+    def test_clamps_at_empty(self):
+        battery = Battery(capacity_j=100.0, level_j=10.0)
+        assert battery.deplete(25.0) == pytest.approx(10.0)
+        assert battery.level_j == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            Battery().deplete(-1.0)
+
+
+class TestRecharge:
+    def test_normal(self):
+        battery = Battery(capacity_j=100.0, level_j=50.0)
+        assert battery.recharge(30.0) == 30.0
+        assert battery.level_j == pytest.approx(80.0)
+
+    def test_clamps_at_capacity(self):
+        battery = Battery(capacity_j=100.0, level_j=90.0)
+        assert battery.recharge(30.0) == pytest.approx(10.0)
+        assert battery.level_j == 100.0
+
+    def test_recharge_full(self):
+        battery = Battery(capacity_j=100.0, level_j=33.0)
+        absorbed = battery.recharge_full()
+        assert absorbed == pytest.approx(67.0)
+        assert battery.level_j == 100.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            Battery().recharge(-5.0)
+
+
+class TestTimeUntilFraction:
+    def test_linear(self):
+        battery = Battery(capacity_j=100.0, level_j=100.0)
+        # Reach 20% from 100% at 2 W: 80 J / 2 W = 40 s.
+        assert battery.time_until_fraction(0.2, 2.0) == pytest.approx(40.0)
+
+    def test_already_below(self):
+        battery = Battery(capacity_j=100.0, level_j=10.0)
+        assert battery.time_until_fraction(0.2, 2.0) == 0.0
+
+    def test_zero_draw(self):
+        assert Battery().time_until_fraction(0.2, 0.0) == math.inf
+
+    def test_negative_draw_raises(self):
+        with pytest.raises(ValueError):
+            Battery().time_until_fraction(0.2, -1.0)
+
+
+class TestCopy:
+    def test_independent(self):
+        battery = Battery(capacity_j=100.0, level_j=60.0)
+        clone = battery.copy()
+        clone.deplete(50.0)
+        assert battery.level_j == 60.0
+        assert clone.level_j == 10.0

@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.energy.charging` (paper Eqs. 1-2)."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.charging import (
+    ChargerSpec,
+    charge_times_for,
+    full_charge_time,
+    sojourn_time_bound,
+)
+from repro.geometry.point import Point
+from repro.network.sensor import Sensor
+
+
+class TestChargerSpec:
+    def test_paper_defaults(self):
+        spec = ChargerSpec()
+        assert spec.charge_rate_w == 2.0
+        assert spec.charge_radius_m == 2.7
+        assert spec.travel_speed_mps == 1.0
+
+    def test_travel_time(self):
+        spec = ChargerSpec(travel_speed_mps=2.0)
+        assert spec.travel_time((0, 0), (6, 8)) == pytest.approx(5.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ChargerSpec(charge_rate_w=0.0)
+        with pytest.raises(ValueError):
+            ChargerSpec(charge_radius_m=-1.0)
+        with pytest.raises(ValueError):
+            ChargerSpec(travel_speed_mps=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ChargerSpec().charge_rate_w = 5.0
+
+
+class TestFullChargeTime:
+    def test_paper_headline_value(self):
+        """An empty 10.8 kJ battery at 2 W takes 1.5 hours (Sec. VI-A)."""
+        assert full_charge_time(10_800.0, 0.0, 2.0) == pytest.approx(5400.0)
+
+    def test_eq1(self):
+        # t_v = (C_v - RE_v) / eta
+        assert full_charge_time(100.0, 40.0, 3.0) == pytest.approx(20.0)
+
+    def test_full_battery_is_zero(self):
+        assert full_charge_time(100.0, 100.0, 2.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            full_charge_time(100.0, -1.0, 2.0)
+        with pytest.raises(ValueError):
+            full_charge_time(100.0, 150.0, 2.0)
+        with pytest.raises(ValueError):
+            full_charge_time(100.0, 50.0, 0.0)
+
+
+class TestSojournTimeBound:
+    def test_eq2_is_max(self):
+        assert sojourn_time_bound([10.0, 30.0, 20.0]) == 30.0
+
+    def test_empty_disk(self):
+        assert sojourn_time_bound([]) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            sojourn_time_bound([5.0, -1.0])
+
+
+class TestChargeTimesFor:
+    def test_maps_by_sensor_id(self):
+        sensors = [
+            Sensor(id=1, position=Point(0, 0),
+                   battery=Battery(capacity_j=100.0, level_j=40.0)),
+            Sensor(id=2, position=Point(1, 1),
+                   battery=Battery(capacity_j=100.0, level_j=100.0)),
+        ]
+        times = charge_times_for(sensors, charge_rate_w=2.0)
+        assert times[1] == pytest.approx(30.0)
+        assert times[2] == 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.energy.consumption`."""
+
+import math
+
+import pytest
+
+from repro.energy.consumption import (
+    RadioModel,
+    lifetime_seconds,
+    sensor_power_draw,
+    total_load_bps,
+)
+
+
+class TestRadioModel:
+    def test_defaults(self):
+        model = RadioModel()
+        assert model.e_elec_j_per_bit == pytest.approx(25e-9)
+        assert model.path_loss_exponent == 2.0
+
+    def test_tx_energy_grows_with_distance(self):
+        model = RadioModel()
+        assert model.tx_energy_per_bit(10.0) < model.tx_energy_per_bit(20.0)
+
+    def test_tx_energy_at_zero_distance(self):
+        model = RadioModel()
+        assert model.tx_energy_per_bit(0.0) == pytest.approx(
+            model.e_elec_j_per_bit
+        )
+
+    def test_tx_energy_formula(self):
+        model = RadioModel()
+        expected = (
+            model.e_elec_j_per_bit
+            + model.e_amp_j_per_bit_m * 10.0**2
+        )
+        assert model.tx_energy_per_bit(10.0) == pytest.approx(expected)
+
+    def test_rx_energy(self):
+        model = RadioModel()
+        assert model.rx_energy_per_bit() == pytest.approx(
+            model.e_elec_j_per_bit
+        )
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            RadioModel().tx_energy_per_bit(-1.0)
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            RadioModel(e_elec_j_per_bit=-1.0)
+        with pytest.raises(ValueError):
+            RadioModel(path_loss_exponent=0.5)
+        with pytest.raises(ValueError):
+            RadioModel(idle_power_w=-1.0)
+
+
+class TestTotalLoad:
+    def test_sum(self):
+        assert total_load_bps(1000.0, 2500.0) == 3500.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            total_load_bps(-1.0, 0.0)
+
+
+class TestSensorPowerDraw:
+    def test_leaf_sensor(self):
+        """A sensor with no relay traffic: sensing + own tx only."""
+        model = RadioModel()
+        draw = sensor_power_draw(model, 1000.0, 0.0, 15.0)
+        expected = 1000.0 * model.e_sense_j_per_bit + 1000.0 * (
+            model.tx_energy_per_bit(15.0)
+        )
+        assert draw == pytest.approx(expected)
+
+    def test_relay_increases_draw(self):
+        model = RadioModel()
+        leaf = sensor_power_draw(model, 1000.0, 0.0, 15.0)
+        relay = sensor_power_draw(model, 1000.0, 50_000.0, 15.0)
+        assert relay > leaf
+
+    def test_relay_term(self):
+        model = RadioModel()
+        draw = sensor_power_draw(model, 0.0, 10_000.0, 10.0)
+        expected = 10_000.0 * (
+            model.rx_energy_per_bit() + model.tx_energy_per_bit(10.0)
+        )
+        assert draw == pytest.approx(expected)
+
+    def test_magnitude_plausible(self):
+        """Paper regime: a mid-rate sensor draws milliwatts, giving a
+        lifetime of days-to-weeks on a 10.8 kJ battery."""
+        model = RadioModel()
+        draw = sensor_power_draw(model, 25_000.0, 0.0, 15.0)
+        assert 1e-4 < draw < 1e-2
+        life_days = lifetime_seconds(10_800.0, draw) / 86_400.0
+        assert 1.0 < life_days < 1000.0
+
+    def test_idle_power_added(self):
+        model = RadioModel(idle_power_w=0.001)
+        base = RadioModel()
+        with_idle = sensor_power_draw(model, 1000.0, 0.0, 5.0)
+        without = sensor_power_draw(base, 1000.0, 0.0, 5.0)
+        assert with_idle - without == pytest.approx(0.001)
+
+
+class TestLifetime:
+    def test_linear(self):
+        assert lifetime_seconds(100.0, 2.0) == pytest.approx(50.0)
+
+    def test_zero_draw(self):
+        assert lifetime_seconds(100.0, 0.0) == math.inf
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            lifetime_seconds(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            lifetime_seconds(1.0, -1.0)

@@ -1,0 +1,113 @@
+"""Tests for :mod:`repro.energy.efficiency` and its integration into
+the core scheduler."""
+
+import pytest
+
+from repro.core.appro import appro_schedule
+from repro.core.validation import validate_schedule
+from repro.energy.charging import ChargerSpec
+from repro.energy.efficiency import (
+    ConstantEfficiency,
+    QuadraticDecay,
+    pairwise_charge_time_fn,
+)
+from repro.geometry.point import Point
+
+
+class TestModels:
+    def test_constant(self):
+        model = ConstantEfficiency()
+        assert model.efficiency(0.0) == 1.0
+        assert model.efficiency(2.7) == 1.0
+        with pytest.raises(ValueError):
+            model.efficiency(-1.0)
+
+    def test_quadratic_endpoints(self):
+        model = QuadraticDecay(radius_m=2.7, floor=0.3)
+        assert model.efficiency(0.0) == pytest.approx(1.0)
+        assert model.efficiency(2.7) == pytest.approx(0.3)
+
+    def test_quadratic_monotone_decreasing(self):
+        model = QuadraticDecay(radius_m=2.7, floor=0.3)
+        samples = [model.efficiency(d) for d in (0.0, 0.9, 1.8, 2.7)]
+        assert samples == sorted(samples, reverse=True)
+
+    def test_quadratic_clamps_beyond_radius(self):
+        model = QuadraticDecay(radius_m=2.7, floor=0.3)
+        assert model.efficiency(100.0) == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadraticDecay(radius_m=0.0)
+        with pytest.raises(ValueError):
+            QuadraticDecay(floor=0.0)
+        with pytest.raises(ValueError):
+            QuadraticDecay(floor=1.5)
+
+
+class TestPairwiseChargeTime:
+    def test_constant_matches_eq1(self):
+        positions = {0: Point(0, 0), 1: Point(1, 0)}
+        fn = pairwise_charge_time_fn(
+            positions, {0: 1000.0}, ChargerSpec(charge_rate_w=2.0),
+            ConstantEfficiency(),
+        )
+        assert fn(0, 1) == pytest.approx(500.0)
+        assert fn(0, 0) == pytest.approx(500.0)
+
+    def test_decay_increases_with_distance(self):
+        positions = {0: Point(0, 0), 1: Point(0.5, 0), 2: Point(2.5, 0)}
+        fn = pairwise_charge_time_fn(
+            positions, {0: 1000.0}, ChargerSpec(),
+            QuadraticDecay(radius_m=2.7, floor=0.3),
+        )
+        assert fn(0, 0) < fn(0, 1) < fn(0, 2)
+
+    def test_zero_deficit(self):
+        positions = {0: Point(0, 0)}
+        fn = pairwise_charge_time_fn(
+            positions, {0: 0.0}, ChargerSpec(), QuadraticDecay()
+        )
+        assert fn(0, 0) == 0.0
+
+
+class TestApproWithEfficiency:
+    def test_feasible_under_decay(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        schedule = appro_schedule(
+            depleted_net, requests, 2,
+            efficiency=QuadraticDecay(radius_m=2.7, floor=0.3),
+        )
+        assert validate_schedule(schedule, requests) == []
+
+    def test_decay_never_shortens_the_schedule(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        constant = appro_schedule(depleted_net, requests, 2)
+        decayed = appro_schedule(
+            depleted_net, requests, 2,
+            efficiency=QuadraticDecay(radius_m=2.7, floor=0.3),
+        )
+        assert decayed.longest_delay() >= constant.longest_delay() - 1e-6
+
+    def test_constant_model_identical_to_default(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        default = appro_schedule(depleted_net, requests, 2)
+        constant = appro_schedule(
+            depleted_net, requests, 2, efficiency=ConstantEfficiency()
+        )
+        assert constant.longest_delay() == pytest.approx(
+            default.longest_delay()
+        )
+
+    def test_finish_times_respect_pairwise_times(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        schedule = appro_schedule(
+            depleted_net, requests, 2,
+            efficiency=QuadraticDecay(radius_m=2.7, floor=0.3),
+        )
+        finishes = schedule.sensor_finish_times()
+        # Every sensor finishes within its charging stop's interval.
+        for node, sensors in schedule.charges.items():
+            start, finish = schedule.stop_interval(node)
+            for u in sensors:
+                assert start - 1e-9 <= finishes[u] <= finish + 1e-9

@@ -1,0 +1,44 @@
+"""Unit tests for :mod:`repro.energy.policies`."""
+
+import pytest
+
+from repro.energy.policies import FULL_CHARGE, PARTIAL_80, ChargingPolicy
+
+
+class TestChargingPolicy:
+    def test_full_charge_matches_eq1(self):
+        # 10.8 kJ empty battery at 2 W -> 1.5 h.
+        assert FULL_CHARGE.charge_time(10_800.0, 0.0, 2.0) == pytest.approx(
+            5400.0
+        )
+
+    def test_partial_target_level(self):
+        assert PARTIAL_80.target_level_j(1000.0) == pytest.approx(800.0)
+
+    def test_partial_charge_time(self):
+        # Charge from 100 J to 800 J at 2 W -> 350 s.
+        assert PARTIAL_80.charge_time(1000.0, 100.0, 2.0) == pytest.approx(
+            350.0
+        )
+
+    def test_partial_shorter_than_full(self):
+        full = FULL_CHARGE.charge_time(1000.0, 100.0, 2.0)
+        partial = PARTIAL_80.charge_time(1000.0, 100.0, 2.0)
+        assert partial < full
+
+    def test_already_above_target(self):
+        assert PARTIAL_80.charge_time(1000.0, 900.0, 2.0) == 0.0
+
+    def test_is_full_flag(self):
+        assert FULL_CHARGE.is_full
+        assert not PARTIAL_80.is_full
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            ChargingPolicy(target_fraction=0.0)
+        with pytest.raises(ValueError):
+            ChargingPolicy(target_fraction=1.2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FULL_CHARGE.target_fraction = 0.5

@@ -1,0 +1,70 @@
+"""Unit tests for :mod:`repro.geometry.distance`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    euclidean,
+    pairwise_distances,
+    path_length,
+    tour_length,
+)
+from repro.geometry.point import Point
+
+
+class TestEuclidean:
+    def test_pythagorean(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert euclidean((1, 1), (1, 1)) == 0.0
+
+    def test_points_and_tuples(self):
+        assert euclidean(Point(0, 0), (0, 2)) == pytest.approx(2.0)
+
+
+class TestPairwiseDistances:
+    def test_shape(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        mat = pairwise_distances(pts)
+        assert mat.shape == (3, 3)
+
+    def test_symmetry_and_diagonal(self):
+        pts = [Point(0, 0), Point(3, 4), Point(-1, 2)]
+        mat = pairwise_distances(pts)
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diag(mat), 0.0)
+
+    def test_values(self):
+        mat = pairwise_distances([Point(0, 0), Point(3, 4)])
+        assert mat[0, 1] == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length([]) == 0.0
+        assert path_length([Point(1, 1)]) == 0.0
+
+    def test_two_points(self):
+        assert path_length([Point(0, 0), Point(3, 4)]) == pytest.approx(5.0)
+
+    def test_polyline(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1)]
+        assert path_length(pts) == pytest.approx(2.0)
+
+
+class TestTourLength:
+    def test_degenerate(self):
+        assert tour_length([]) == 0.0
+        assert tour_length([Point(5, 5)]) == 0.0
+
+    def test_closes_the_loop(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert tour_length(pts) == pytest.approx(4.0)
+
+    def test_tour_at_least_path(self):
+        pts = [Point(0, 0), Point(5, 0), Point(5, 5)]
+        assert tour_length(pts) >= path_length(pts)

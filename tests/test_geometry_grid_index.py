@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.geometry.grid_index`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import euclidean
+from repro.geometry.grid_index import GridIndex
+from repro.geometry.point import Point
+
+
+@pytest.fixture
+def random_points():
+    rng = np.random.default_rng(0)
+    return {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, size=(300, 2)))
+    }
+
+
+class TestGridIndex:
+    def test_len_and_contains(self, random_points):
+        index = GridIndex(random_points, cell_size=5.0)
+        assert len(index) == 300
+        assert 0 in index
+        assert 999 not in index
+
+    def test_position_roundtrip(self, random_points):
+        index = GridIndex(random_points, cell_size=5.0)
+        assert index.position(17) == random_points[17].as_tuple()
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex({}, cell_size=0.0)
+
+    def test_negative_radius_raises(self, random_points):
+        index = GridIndex(random_points, cell_size=5.0)
+        with pytest.raises(ValueError):
+            index.within((0, 0), -1.0)
+
+    @pytest.mark.parametrize("radius", [0.5, 2.7, 5.4, 20.0])
+    def test_within_matches_brute_force(self, random_points, radius):
+        index = GridIndex(random_points, cell_size=2.7)
+        center = (50.0, 50.0)
+        expected = {
+            i
+            for i, p in random_points.items()
+            if euclidean(p, center) <= radius
+        }
+        assert set(index.within(center, radius)) == expected
+
+    def test_boundary_inclusive(self):
+        index = GridIndex({0: Point(0, 0), 1: Point(0, 3)}, cell_size=3.0)
+        assert set(index.within((0, 0), 3.0)) == {0, 1}
+
+    def test_neighbors_excludes_self(self, random_points):
+        index = GridIndex(random_points, cell_size=2.7)
+        for label in list(random_points)[:20]:
+            assert label not in index.neighbors_of(label, 10.0)
+
+    def test_neighbors_matches_brute_force(self, random_points):
+        index = GridIndex(random_points, cell_size=2.7)
+        for label in list(random_points)[:10]:
+            got = set(index.neighbors_of(label, 8.0))
+            expected = {
+                j
+                for j, p in random_points.items()
+                if j != label
+                and euclidean(p, random_points[label]) <= 8.0
+            }
+            assert got == expected
+
+    def test_query_radius_larger_than_cell(self):
+        pts = {i: Point(float(i), 0.0) for i in range(50)}
+        index = GridIndex(pts, cell_size=1.0)
+        got = set(index.within((0, 0), 25.0))
+        assert got == set(range(26))
+
+    def test_empty_index(self):
+        index = GridIndex({}, cell_size=1.0)
+        assert index.within((0, 0), 100.0) == []

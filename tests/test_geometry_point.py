@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.geometry.point`."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, as_point, centroid
+
+
+class TestPoint:
+    def test_unpacking(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_indexing(self):
+        p = Point(1.0, 2.0)
+        assert p[0] == 1.0
+        assert p[1] == 2.0
+
+    def test_len(self):
+        assert len(Point(0.0, 0.0)) == 2
+
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_add_tuple(self):
+        assert Point(1, 2) + (3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_scalar_mul(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_to_tuple(self):
+        assert Point(0, 0).distance_to((3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 7.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_ordering(self):
+        assert Point(0, 1) < Point(1, 0)
+
+
+class TestAsPoint:
+    def test_passthrough(self):
+        p = Point(1, 2)
+        assert as_point(p) is p
+
+    def test_from_tuple(self):
+        assert as_point((1, 2)) == Point(1.0, 2.0)
+
+    def test_from_list(self):
+        assert as_point([3, 4]) == Point(3.0, 4.0)
+
+    def test_coerces_to_float(self):
+        p = as_point((1, 2))
+        assert isinstance(p.x, float)
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(5, 7)]) == Point(5, 7)
+
+    def test_square(self):
+        square = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(square) == Point(1, 1)
+
+    def test_mixed_types(self):
+        assert centroid([(0, 0), Point(2, 2)]) == Point(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            centroid([])

@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.graphs.analysis`."""
+
+import pytest
+
+from repro.bench.workloads import PaperParams, make_instance
+from repro.graphs.analysis import (
+    disk_occupancy,
+    load_factor,
+    mean_disk_occupancy,
+    structure_report,
+)
+from repro.network.topology import random_wrsn
+
+
+class TestDiskOccupancy:
+    def test_isolated_sensors_occupancy_one(self):
+        # Tiny radius: every disk holds only its own sensor.
+        net = random_wrsn(num_sensors=50, seed=81)
+        occ = disk_occupancy(net, net.all_sensor_ids(), radius_m=0.001)
+        assert all(v == 1 for v in occ.values())
+
+    def test_huge_radius_occupancy_n(self):
+        net = random_wrsn(num_sensors=30, seed=82)
+        occ = disk_occupancy(net, net.all_sensor_ids(), radius_m=1e6)
+        assert all(v == 30 for v in occ.values())
+
+    def test_mean_grows_with_density(self):
+        sparse = random_wrsn(num_sensors=200, seed=83)
+        dense = random_wrsn(num_sensors=1000, seed=83)
+        assert mean_disk_occupancy(
+            dense, dense.all_sensor_ids(), 2.7
+        ) > mean_disk_occupancy(sparse, sparse.all_sensor_ids(), 2.7)
+
+    def test_empty_requests(self):
+        net = random_wrsn(num_sensors=10, seed=84)
+        assert mean_disk_occupancy(net, [], 2.7) == 0.0
+
+
+class TestStructureReport:
+    def test_consistency(self):
+        net = random_wrsn(num_sensors=400, seed=85)
+        report = structure_report(net, net.all_sensor_ids())
+        assert report.num_requests == 400
+        assert 0 < report.conflict_free_core <= report.sojourn_candidates
+        assert report.sojourn_candidates <= report.num_requests
+        assert report.delta_h <= 26
+        assert report.mean_occupancy >= 1.0
+        assert 0.0 < report.stops_per_sensor <= 1.0
+
+    def test_dense_instances_share_more(self):
+        sparse = random_wrsn(num_sensors=200, seed=86)
+        dense = random_wrsn(num_sensors=1000, seed=86)
+        r_sparse = structure_report(sparse, sparse.all_sensor_ids())
+        r_dense = structure_report(dense, dense.all_sensor_ids())
+        assert r_dense.stops_per_sensor < r_sparse.stops_per_sensor
+
+
+class TestLoadFactor:
+    def test_paper_anchor_point(self):
+        """The calibration target: n=1000, b_max=50, K=2 sits at the
+        one-to-one stability edge; n=1200 is past it."""
+        p1000 = PaperParams(num_sensors=1000)
+        p1200 = PaperParams(num_sensors=1200)
+        net1000 = make_instance(p1000, seed=1)
+        net1200 = make_instance(p1200, seed=1)
+        r1000 = load_factor(net1000, num_chargers=2)
+        r1200 = load_factor(net1200, num_chargers=2)
+        assert 0.7 < r1000.load_factor < 1.3
+        assert r1200.load_factor > r1000.load_factor
+        assert r1200.predicts_baseline_divergence
+
+    def test_more_chargers_lower_factor(self):
+        net = random_wrsn(num_sensors=300, seed=87)
+        r2 = load_factor(net, num_chargers=2)
+        r4 = load_factor(net, num_chargers=4)
+        assert r4.load_factor == pytest.approx(r2.load_factor / 2.0)
+
+    def test_hottest_sensor_fields(self):
+        net = random_wrsn(num_sensors=300, seed=88)
+        report = load_factor(net, num_chargers=2)
+        assert report.hottest_sensor_w > 0
+        assert 0 < report.hottest_lifetime_h < 1e6
+
+    def test_validation(self):
+        net = random_wrsn(num_sensors=5, seed=89)
+        with pytest.raises(ValueError):
+            load_factor(net, num_chargers=0)
+        with pytest.raises(ValueError):
+            load_factor(net, num_chargers=1, duty_factor=0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.graphs.auxiliary`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ratio import delta_h_bound
+from repro.geometry.point import Point
+from repro.graphs.auxiliary import (
+    auxiliary_max_degree,
+    build_auxiliary_graph,
+    conflict_free_components,
+)
+from repro.graphs.coverage import coverage_sets
+from repro.graphs.mis import maximal_independent_set
+from repro.graphs.unit_disk import build_charging_graph
+
+GAMMA = 2.7
+
+
+def make_instance(seed, n=200, side=40.0):
+    rng = np.random.default_rng(seed)
+    positions = {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, side, size=(n, 2)))
+    }
+    graph = build_charging_graph(positions, radius=GAMMA)
+    mis = maximal_independent_set(graph)
+    coverage = coverage_sets(mis, positions, radius=GAMMA)
+    aux = build_auxiliary_graph(mis, coverage, positions, radius=GAMMA)
+    return positions, mis, coverage, aux
+
+
+class TestBuildAuxiliaryGraph:
+    def test_edge_iff_disk_intersection(self):
+        positions, mis, coverage, aux = make_instance(seed=0)
+        for u in mis:
+            for v in mis:
+                if u < v:
+                    expected = bool(coverage[u] & coverage[v])
+                    assert aux.has_edge(u, v) == expected
+
+    def test_edge_distance_range(self):
+        """Every H-edge joins locations with gamma < d <= 2*gamma
+        (independence gives the lower bound, shared coverage the
+        upper)."""
+        positions, mis, coverage, aux = make_instance(seed=1)
+        for u, v in aux.edges:
+            d = positions[u].distance_to(positions[v])
+            assert d > GAMMA
+            assert d <= 2 * GAMMA + 1e-9
+
+    def test_shared_sensor_required_not_just_distance(self):
+        # Two candidates 4 m apart (within 2*gamma) but no sensor in
+        # the lens: no H edge.
+        positions = {0: Point(0, 0), 1: Point(4.0, 0)}
+        coverage = coverage_sets([0, 1], positions, radius=GAMMA)
+        aux = build_auxiliary_graph([0, 1], coverage, positions, GAMMA)
+        assert not aux.has_edge(0, 1)
+
+        # Add a sensor in the lens: edge appears.
+        positions[2] = Point(2.0, 0)
+        coverage = coverage_sets([0, 1], positions, radius=GAMMA)
+        aux = build_auxiliary_graph([0, 1], coverage, positions, GAMMA)
+        assert aux.has_edge(0, 1)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            build_auxiliary_graph([], {}, {}, radius=0.0)
+
+
+class TestMaxDegree:
+    def test_empty_graph(self):
+        import networkx as nx
+
+        assert auxiliary_max_degree(nx.Graph()) == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lemma2_bound_holds(self, seed):
+        """Lemma 2: Delta_H <= ceil(8*pi) = 26 on every instance."""
+        _, _, _, aux = make_instance(seed=seed, n=300, side=35.0)
+        assert auxiliary_max_degree(aux) <= delta_h_bound()
+
+
+class TestConflictFreeComponents:
+    def test_mis_of_h_has_singleton_components(self):
+        _, mis, coverage, aux = make_instance(seed=2)
+        core = maximal_independent_set(aux)
+        comp = conflict_free_components(aux, core)
+        # Independent in H => no two chosen nodes share a component
+        # edge; each is its own component.
+        assert len(set(comp.values())) == len(core)
+
+    def test_components_partition_chosen(self):
+        _, mis, coverage, aux = make_instance(seed=3)
+        comp = conflict_free_components(aux, mis)
+        assert set(comp) == set(mis)

@@ -1,0 +1,81 @@
+"""Unit tests for :mod:`repro.graphs.coverage`."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.graphs.coverage import (
+    coverage_sets,
+    covered_by,
+    covers_all,
+    uncovered,
+)
+
+
+@pytest.fixture
+def line_positions():
+    # Sensors 0..4 spaced 2 m apart on a line; radius 2.7 covers
+    # immediate neighbours only.
+    return {i: Point(2.0 * i, 0.0) for i in range(5)}
+
+
+class TestCoverageSets:
+    def test_includes_self(self, line_positions):
+        cov = coverage_sets([2], line_positions, radius=2.7)
+        assert 2 in cov[2]
+
+    def test_neighbours_within_radius(self, line_positions):
+        cov = coverage_sets([2], line_positions, radius=2.7)
+        assert cov[2] == frozenset({1, 2, 3})
+
+    def test_radius_boundary_inclusive(self):
+        positions = {0: Point(0, 0), 1: Point(2.7, 0)}
+        cov = coverage_sets([0], positions, radius=2.7)
+        assert 1 in cov[0]
+
+    def test_targets_restriction(self, line_positions):
+        cov = coverage_sets(
+            [2], line_positions, radius=2.7, targets=[2, 3]
+        )
+        assert cov[2] == frozenset({2, 3})
+
+    def test_candidate_covers_itself_even_outside_targets(
+        self, line_positions
+    ):
+        cov = coverage_sets([2], line_positions, radius=2.7, targets=[0])
+        assert 2 in cov[2]
+
+    def test_invalid_radius(self, line_positions):
+        with pytest.raises(ValueError):
+            coverage_sets([0], line_positions, radius=-1.0)
+
+
+class TestCoverageQueries:
+    def test_covered_by_union(self, line_positions):
+        cov = coverage_sets([0, 4], line_positions, radius=2.7)
+        assert covered_by([0, 4], cov) == {0, 1, 3, 4}
+
+    def test_covers_all(self, line_positions):
+        cov = coverage_sets([1, 3], line_positions, radius=2.7)
+        assert covers_all([1, 3], cov, required=range(5))
+
+    def test_uncovered(self, line_positions):
+        cov = coverage_sets([0], line_positions, radius=2.7)
+        assert uncovered([0], cov, required=range(5)) == {2, 3, 4}
+
+    def test_mis_coverage_property(self):
+        """A maximal independent set of the charging graph covers every
+        node — the property Algorithm 1's step 2 relies on."""
+        import numpy as np
+
+        from repro.graphs.mis import maximal_independent_set
+        from repro.graphs.unit_disk import build_charging_graph
+
+        rng = np.random.default_rng(10)
+        positions = {
+            i: Point(float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0, 50, size=(200, 2)))
+        }
+        graph = build_charging_graph(positions, radius=2.7)
+        mis = maximal_independent_set(graph)
+        cov = coverage_sets(mis, positions, radius=2.7)
+        assert covers_all(mis, cov, required=positions)

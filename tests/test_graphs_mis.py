@@ -1,0 +1,99 @@
+"""Unit tests for :mod:`repro.graphs.mis`."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.graphs.mis import (
+    is_independent_set,
+    is_maximal_independent_set,
+    maximal_independent_set,
+)
+from repro.graphs.unit_disk import build_charging_graph
+
+STRATEGIES = ["min_degree", "lexicographic", "random"]
+
+
+def sample_graphs():
+    yield "path", nx.path_graph(10)
+    yield "cycle", nx.cycle_graph(9)
+    yield "complete", nx.complete_graph(6)
+    yield "star", nx.star_graph(8)
+    yield "empty", nx.empty_graph(7)
+    yield "disconnected", nx.union(nx.path_graph(4), nx.cycle_graph(range(10, 15)))
+    rng = np.random.default_rng(2)
+    positions = {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 40, size=(120, 2)))
+    }
+    yield "unit_disk", build_charging_graph(positions, radius=2.7)
+
+
+class TestMaximalIndependentSet:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_result_is_maximal_independent(self, strategy):
+        for name, graph in sample_graphs():
+            mis = maximal_independent_set(graph, strategy=strategy, seed=1)
+            assert is_maximal_independent_set(graph, mis), (name, strategy)
+
+    def test_complete_graph_yields_one_node(self):
+        mis = maximal_independent_set(nx.complete_graph(10))
+        assert len(mis) == 1
+
+    def test_empty_graph_yields_all_nodes(self):
+        mis = maximal_independent_set(nx.empty_graph(5))
+        assert mis == [0, 1, 2, 3, 4]
+
+    def test_star_min_degree_picks_leaves(self):
+        # Leaves have degree 1, hub degree 8: min-degree greedy takes
+        # all leaves.
+        mis = maximal_independent_set(nx.star_graph(8), strategy="min_degree")
+        assert mis == list(range(1, 9))
+
+    def test_lexicographic_deterministic(self):
+        graph = nx.cycle_graph(11)
+        a = maximal_independent_set(graph, strategy="lexicographic")
+        b = maximal_independent_set(graph, strategy="lexicographic")
+        assert a == b
+
+    def test_random_seeded_deterministic(self):
+        graph = nx.cycle_graph(30)
+        a = maximal_independent_set(graph, strategy="random", seed=5)
+        b = maximal_independent_set(graph, strategy="random", seed=5)
+        assert a == b
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown MIS strategy"):
+            maximal_independent_set(nx.path_graph(3), strategy="bogus")
+
+    def test_result_sorted(self):
+        mis = maximal_independent_set(nx.cycle_graph(20), strategy="random",
+                                      seed=3)
+        assert mis == sorted(mis)
+
+    def test_min_degree_no_smaller_than_half_lexicographic_on_paths(self):
+        """On a path, min-degree greedy finds the maximum independent
+        set (alternating nodes)."""
+        graph = nx.path_graph(15)
+        mis = maximal_independent_set(graph, strategy="min_degree")
+        assert len(mis) == 8
+
+
+class TestPredicates:
+    def test_is_independent_set(self):
+        graph = nx.path_graph(5)
+        assert is_independent_set(graph, [0, 2, 4])
+        assert not is_independent_set(graph, [0, 1])
+
+    def test_nodes_outside_graph(self):
+        assert not is_independent_set(nx.path_graph(3), [0, 99])
+
+    def test_maximality(self):
+        graph = nx.path_graph(5)
+        assert is_maximal_independent_set(graph, [0, 2, 4])
+        # Independent but not maximal: node 4 could be added.
+        assert not is_maximal_independent_set(graph, [0, 2])
+
+    def test_empty_set_on_empty_graph(self):
+        assert is_maximal_independent_set(nx.Graph(), [])

@@ -1,0 +1,54 @@
+"""Unit tests for :mod:`repro.network.requests`."""
+
+import pytest
+
+from repro.network.requests import (
+    ChargingRequest,
+    make_requests,
+    sensors_below_threshold,
+)
+from repro.network.topology import random_wrsn
+
+
+class TestChargingRequest:
+    def test_ordering_by_time(self):
+        a = ChargingRequest(time_s=5.0, sensor_id=1, residual_j=10.0)
+        b = ChargingRequest(time_s=2.0, sensor_id=0, residual_j=20.0)
+        assert sorted([a, b])[0] is b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChargingRequest(time_s=-1.0, sensor_id=0, residual_j=0.0)
+        with pytest.raises(ValueError):
+            ChargingRequest(time_s=0.0, sensor_id=0, residual_j=-1.0)
+
+    def test_frozen(self):
+        req = ChargingRequest(time_s=0.0, sensor_id=0, residual_j=0.0)
+        with pytest.raises(AttributeError):
+            req.time_s = 5.0
+
+
+class TestThresholdTrigger:
+    def test_all_full_no_requests(self):
+        net = random_wrsn(num_sensors=20, seed=1)
+        assert sensors_below_threshold(net) == []
+
+    def test_depleted_sensors_request(self):
+        net = random_wrsn(num_sensors=20, seed=1)
+        net.set_residuals({3: 100.0, 7: 50.0})
+        assert sensors_below_threshold(net, threshold=0.2) == [3, 7]
+
+    def test_boundary_exclusive(self):
+        net = random_wrsn(num_sensors=5, seed=1)
+        net.set_residuals({0: 0.2 * 10_800.0})
+        # Exactly at the threshold: not below.
+        assert sensors_below_threshold(net, threshold=0.2) == []
+
+    def test_make_requests(self):
+        net = random_wrsn(num_sensors=10, seed=1)
+        net.set_residuals({2: 10.0})
+        requests = make_requests(net, time_s=99.0)
+        assert len(requests) == 1
+        assert requests[0].sensor_id == 2
+        assert requests[0].time_s == 99.0
+        assert requests[0].residual_j == 10.0

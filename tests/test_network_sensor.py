@@ -1,0 +1,61 @@
+"""Unit tests for :mod:`repro.network.sensor` and
+:mod:`repro.network.nodes`."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.network.nodes import BaseStation, Depot
+from repro.network.sensor import Sensor
+
+
+class TestSensor:
+    def test_construction(self):
+        s = Sensor(id=3, position=Point(1, 2), data_rate_bps=5000.0)
+        assert s.id == 3
+        assert s.position == Point(1, 2)
+        assert s.data_rate_bps == 5000.0
+
+    def test_default_battery_full(self):
+        s = Sensor(id=0, position=Point(0, 0))
+        assert s.battery.fraction == 1.0
+
+    def test_residual_and_capacity(self):
+        s = Sensor(
+            id=0,
+            position=Point(0, 0),
+            battery=Battery(capacity_j=100.0, level_j=30.0),
+        )
+        assert s.residual_j == 30.0
+        assert s.capacity_j == 100.0
+
+    def test_distance_to(self):
+        a = Sensor(id=0, position=Point(0, 0))
+        b = Sensor(id=1, position=Point(3, 4))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Sensor(id=-1, position=Point(0, 0))
+        with pytest.raises(ValueError):
+            Sensor(id=0, position=Point(0, 0), data_rate_bps=-1.0)
+
+    def test_copy_is_independent(self):
+        s = Sensor(id=0, position=Point(0, 0))
+        clone = s.copy()
+        clone.battery.deplete(500.0)
+        assert s.battery.fraction == 1.0
+
+
+class TestInfrastructure:
+    def test_base_station_distance(self):
+        bs = BaseStation(position=Point(50, 50))
+        assert bs.distance_to(Point(50, 40)) == pytest.approx(10.0)
+
+    def test_depot_distance(self):
+        depot = Depot(position=Point(0, 0))
+        assert depot.distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Depot(position=Point(0, 0)).position = Point(1, 1)

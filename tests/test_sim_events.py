@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.sim.events`."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEvent:
+    def test_negative_time_rejected_on_push(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(Event(time_s=-1.0, kind="x"))
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "b")
+        queue.schedule(1.0, "a")
+        queue.schedule(3.0, "c")
+        kinds = [queue.pop().kind for _ in range(3)]
+        assert kinds == ["a", "c", "b"]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "first")
+        queue.schedule(1.0, "second")
+        queue.schedule(1.0, "third")
+        kinds = [queue.pop().kind for _ in range(3)]
+        assert kinds == ["first", "second", "third"]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        queue.schedule(0.0, "x")
+        assert queue
+        assert len(queue) == 1
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.schedule(2.0, "x")
+        assert queue.peek().kind == "x"
+        assert len(queue) == 1
+
+    def test_peek_empty(self):
+        assert EventQueue().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_pop_until(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            queue.schedule(t, f"t{t}")
+        popped = [e.kind for e in queue.pop_until(2.5)]
+        assert popped == ["t1.0", "t2.0"]
+        assert len(queue) == 2
+
+    def test_payload_roundtrip(self):
+        queue = EventQueue()
+        payload = {"sensor": 7}
+        queue.schedule(1.0, "charged", payload)
+        assert queue.pop().payload is payload
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "x")
+        queue.clear()
+        assert not queue
+
+    def test_unorderable_payloads_ok(self):
+        """Ties in time must not try to compare payloads."""
+        queue = EventQueue()
+        queue.schedule(1.0, "a", {"x": 1})
+        queue.schedule(1.0, "b", {"y": 2})
+        assert queue.pop().kind == "a"
+        assert queue.pop().kind == "b"

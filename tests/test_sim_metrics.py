@@ -1,0 +1,48 @@
+"""Unit tests for :mod:`repro.sim.metrics`."""
+
+import pytest
+
+from repro.sim.metrics import SimMetrics
+
+
+def make_metrics():
+    return SimMetrics(
+        horizon_s=1000.0,
+        num_sensors=4,
+        round_longest_delays_s=[3600.0, 7200.0],
+        dead_time_s={0: 120.0, 1: 0.0, 2: 60.0, 3: 0.0},
+        round_request_counts=[3, 5],
+    )
+
+
+class TestSimMetrics:
+    def test_num_rounds(self):
+        assert make_metrics().num_rounds == 2
+
+    def test_mean_longest_delay(self):
+        m = make_metrics()
+        assert m.mean_longest_delay_s == pytest.approx(5400.0)
+        assert m.mean_longest_delay_hours == pytest.approx(1.5)
+
+    def test_max_longest_delay(self):
+        assert make_metrics().max_longest_delay_s == 7200.0
+
+    def test_dead_time_aggregates(self):
+        m = make_metrics()
+        assert m.total_dead_time_s == pytest.approx(180.0)
+        assert m.avg_dead_time_per_sensor_s == pytest.approx(45.0)
+        assert m.avg_dead_time_per_sensor_minutes == pytest.approx(0.75)
+
+    def test_num_sensors_ever_dead(self):
+        assert make_metrics().num_sensors_ever_dead == 2
+
+    def test_empty_metrics(self):
+        m = SimMetrics(horizon_s=10.0, num_sensors=0)
+        assert m.mean_longest_delay_s == 0.0
+        assert m.avg_dead_time_per_sensor_s == 0.0
+        assert m.num_rounds == 0
+
+    def test_summary_contains_key_numbers(self):
+        text = make_metrics().summary()
+        assert "rounds=2" in text
+        assert "1.50h" in text

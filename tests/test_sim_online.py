@@ -1,0 +1,83 @@
+"""Tests for :mod:`repro.sim.online` (per-vehicle dispatching)."""
+
+import pytest
+
+from repro.network.topology import random_wrsn
+from repro.sim.online import OnlineMonitoringSimulation
+from repro.sim.simulator import MonitoringSimulation
+
+
+class TestOnlineSimulation:
+    def test_runs_and_produces_dispatches(self):
+        net = random_wrsn(num_sensors=80, seed=51)
+        sim = OnlineMonitoringSimulation(
+            net, num_chargers=2, horizon_s=20 * 86400.0
+        )
+        metrics = sim.run()
+        assert metrics.num_rounds > 0
+        assert all(d > 0 for d in metrics.round_longest_delays_s)
+
+    def test_zero_load_never_dispatches(self):
+        net = random_wrsn(
+            num_sensors=10, seed=52, b_min_bps=0.0, b_max_bps=0.0
+        )
+        metrics = OnlineMonitoringSimulation(
+            net, num_chargers=1, horizon_s=30 * 86400.0
+        ).run()
+        assert metrics.num_rounds == 0
+        assert metrics.total_dead_time_s == 0.0
+
+    def test_deterministic(self):
+        net = random_wrsn(num_sensors=50, seed=53)
+        a = OnlineMonitoringSimulation(
+            net, 2, horizon_s=15 * 86400.0
+        ).run()
+        b = OnlineMonitoringSimulation(
+            net, 2, horizon_s=15 * 86400.0
+        ).run()
+        assert a.round_longest_delays_s == b.round_longest_delays_s
+        assert a.dead_time_s == b.dead_time_s
+
+    def test_dead_time_bounded_by_horizon(self):
+        net = random_wrsn(num_sensors=60, seed=54)
+        horizon = 15 * 86400.0
+        metrics = OnlineMonitoringSimulation(
+            net, 1, horizon_s=horizon
+        ).run()
+        assert all(0 <= d <= horizon for d in metrics.dead_time_s.values())
+
+    def test_network_not_mutated(self):
+        net = random_wrsn(num_sensors=40, seed=55)
+        before = {s.id: s.residual_j for s in net.sensors()}
+        OnlineMonitoringSimulation(net, 2, horizon_s=10 * 86400.0).run()
+        assert {s.id: s.residual_j for s in net.sensors()} == before
+
+    def test_online_dispatches_more_often_than_batch_rounds(self):
+        """Per-vehicle dispatching yields more, smaller departures than
+        the batch model over the same horizon."""
+        net = random_wrsn(num_sensors=150, seed=56)
+        horizon = 20 * 86400.0
+        online = OnlineMonitoringSimulation(
+            net, 2, horizon_s=horizon
+        ).run()
+        batch = MonitoringSimulation(
+            net, "Appro", 2, horizon_s=horizon
+        ).run()
+        if batch.num_rounds > 0:
+            assert online.num_rounds >= batch.num_rounds
+
+    def test_online_no_worse_dead_time_under_load(self):
+        """Online dispatch should not lose to batch on dead time in a
+        loaded network (vehicles never idle waiting for the slowest)."""
+        net = random_wrsn(num_sensors=400, seed=57)
+        horizon = 20 * 86400.0
+        online = OnlineMonitoringSimulation(
+            net, 2, horizon_s=horizon
+        ).run()
+        batch = MonitoringSimulation(
+            net, "Appro", 2, horizon_s=horizon
+        ).run()
+        assert (
+            online.total_dead_time_s
+            <= batch.total_dead_time_s + 60.0 * len(net)
+        )

@@ -1,0 +1,73 @@
+"""Tests for partial-charging policies in the simulator."""
+
+import pytest
+
+from repro.energy.policies import PARTIAL_80, ChargingPolicy
+from repro.network.topology import random_wrsn
+from repro.sim.simulator import MonitoringSimulation
+
+
+class TestPolicyIntegration:
+    def test_invalid_target_below_threshold(self):
+        net = random_wrsn(num_sensors=10, seed=1)
+        with pytest.raises(ValueError, match="target"):
+            MonitoringSimulation(
+                net, "K-EDF", 1,
+                policy=ChargingPolicy(target_fraction=0.15),
+            )
+
+    def test_partial_policy_runs(self):
+        net = random_wrsn(num_sensors=60, seed=61)
+        metrics = MonitoringSimulation(
+            net, "Appro", 1, horizon_s=20 * 86400.0, policy=PARTIAL_80
+        ).run()
+        assert metrics.num_rounds > 0
+
+    def test_partial_rounds_shorter_but_more_frequent(self):
+        """Partial charging trades round duration for round count: the
+        mean longest tour duration drops (smaller deficits per visit)
+        while the number of rounds rises (sensors come back sooner)."""
+        net = random_wrsn(num_sensors=120, seed=62)
+        horizon = 40 * 86400.0
+        full = MonitoringSimulation(
+            net, "K-EDF", 1, horizon_s=horizon
+        ).run()
+        partial = MonitoringSimulation(
+            net, "K-EDF", 1, horizon_s=horizon, policy=PARTIAL_80
+        ).run()
+        assert partial.num_rounds >= full.num_rounds
+        assert (
+            partial.mean_longest_delay_s <= full.mean_longest_delay_s
+        )
+
+    def test_policy_does_not_mutate_input_network(self):
+        net = random_wrsn(num_sensors=20, seed=63)
+        before = {
+            s.id: (s.battery.capacity_j, s.battery.level_j)
+            for s in net.sensors()
+        }
+        MonitoringSimulation(
+            net, "K-EDF", 1, horizon_s=5 * 86400.0, policy=PARTIAL_80
+        ).run()
+        after = {
+            s.id: (s.battery.capacity_j, s.battery.level_j)
+            for s in net.sensors()
+        }
+        assert before == after
+
+    def test_full_policy_unchanged_behaviour(self):
+        """An explicit FULL_CHARGE policy is identical to the default."""
+        from repro.energy.policies import FULL_CHARGE
+
+        net = random_wrsn(num_sensors=50, seed=64)
+        horizon = 15 * 86400.0
+        default = MonitoringSimulation(
+            net, "NETWRAP", 1, horizon_s=horizon
+        ).run()
+        explicit = MonitoringSimulation(
+            net, "NETWRAP", 1, horizon_s=horizon, policy=FULL_CHARGE
+        ).run()
+        assert (
+            default.round_longest_delays_s
+            == explicit.round_longest_delays_s
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.sim.robustness`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.appro import appro_schedule
+from repro.sim.robustness import (
+    minimum_pairwise_slack,
+    perturbed_execution,
+    robustness_report,
+)
+
+
+@pytest.fixture
+def schedule(depleted_net):
+    return appro_schedule(
+        depleted_net, depleted_net.all_sensor_ids(), num_chargers=2
+    )
+
+
+class TestPerturbedExecution:
+    def test_zero_noise_matches_plan(self, schedule):
+        outcome = perturbed_execution(
+            schedule, travel_noise=0.0, charge_noise=0.0,
+            rng=np.random.default_rng(0),
+        )
+        assert outcome.feasible
+        assert outcome.longest_delay_s == pytest.approx(
+            schedule.longest_delay()
+        )
+        planned = {
+            n: schedule.stop_interval(n)
+            for n in schedule.scheduled_stops()
+        }
+        for stop in outcome.stops:
+            ps, pf = planned[stop.node]
+            assert stop.start_s == pytest.approx(ps, abs=1e-6)
+            assert stop.finish_s == pytest.approx(pf, abs=1e-6)
+
+    def test_invalid_noise(self, schedule):
+        with pytest.raises(ValueError):
+            perturbed_execution(schedule, travel_noise=1.5)
+        with pytest.raises(ValueError):
+            perturbed_execution(schedule, charge_noise=-0.1)
+
+    def test_noise_changes_delay(self, schedule):
+        a = perturbed_execution(
+            schedule, rng=np.random.default_rng(1)
+        ).longest_delay_s
+        b = perturbed_execution(
+            schedule, rng=np.random.default_rng(2)
+        ).longest_delay_s
+        assert a != b
+
+    def test_stop_count_preserved(self, schedule):
+        outcome = perturbed_execution(
+            schedule, rng=np.random.default_rng(3)
+        )
+        assert len(outcome.stops) == len(schedule.scheduled_stops())
+
+
+class TestSlackAndReport:
+    def test_min_slack_nonnegative_on_feasible_schedule(self, schedule):
+        slack = minimum_pairwise_slack(schedule)
+        assert slack >= -1e-9 or math.isinf(slack)
+
+    def test_report_fields(self, schedule):
+        report = robustness_report(
+            schedule, trials=20, travel_noise=0.1, charge_noise=0.05,
+            seed=7,
+        )
+        assert report.trials == 20
+        assert 0.0 <= report.violation_probability <= 1.0
+        assert report.planned_longest_delay_s == pytest.approx(
+            schedule.longest_delay()
+        )
+        assert report.mean_longest_delay_s > 0
+        assert "P(violation)" in str(report)
+
+    def test_report_deterministic_with_seed(self, schedule):
+        a = robustness_report(schedule, trials=10, seed=5)
+        b = robustness_report(schedule, trials=10, seed=5)
+        assert a.violation_probability == b.violation_probability
+        assert a.mean_longest_delay_s == pytest.approx(
+            b.mean_longest_delay_s
+        )
+
+    def test_invalid_trials(self, schedule):
+        with pytest.raises(ValueError):
+            robustness_report(schedule, trials=0)

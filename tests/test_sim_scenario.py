@@ -1,0 +1,45 @@
+"""Unit tests for :mod:`repro.sim.scenario`."""
+
+import pytest
+
+from repro.sim.scenario import ALGORITHMS, AlgorithmSpec, get_algorithm
+
+
+class TestRegistry:
+    def test_all_five_paper_algorithms_registered(self):
+        assert set(ALGORITHMS) == {
+            "Appro", "K-EDF", "NETWRAP", "AA", "K-minMax"
+        }
+
+    def test_only_appro_is_multi_node(self):
+        assert ALGORITHMS["Appro"].multi_node
+        for name, spec in ALGORITHMS.items():
+            if name != "Appro":
+                assert not spec.multi_node, name
+
+    def test_get_algorithm(self):
+        spec = get_algorithm("Appro")
+        assert isinstance(spec, AlgorithmSpec)
+        assert spec.name == "Appro"
+
+    def test_get_algorithm_unknown(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("NotAnAlgorithm")
+
+
+class TestUniformInterface:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_uniform_signature_and_result(self, depleted_net, name):
+        """Every registered algorithm accepts the uniform call and
+        returns an object with the two methods the simulator needs."""
+        requests = depleted_net.all_sensor_ids()[:20]
+        lifetimes = {sid: 1e6 for sid in requests}
+        result = ALGORITHMS[name].run(
+            depleted_net, requests, 2, charger=None, lifetimes=lifetimes
+        )
+        delay = result.longest_delay()
+        finishes = result.sensor_finish_times()
+        assert delay > 0
+        assert set(finishes) >= set(requests)
+        # Every finish offset fits within the longest delay.
+        assert all(0 <= f <= delay + 1e-6 for f in finishes.values())

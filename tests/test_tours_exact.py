@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.tours.exact` — and approximation-quality
+certification of the production solvers against true optima."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import Point
+from repro.tours.exact import (
+    MAX_PARTITION_NODES,
+    MAX_TSP_NODES,
+    exact_k_minmax,
+    held_karp_tsp,
+)
+from repro.tours.kminmax import solve_k_minmax_tours
+from repro.tours.splitting import segment_cost
+
+DEPOT = Point(0, 0)
+
+
+def random_positions(seed, n, side=50.0):
+    rng = np.random.default_rng(seed)
+    return {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, side, size=(n, 2)))
+    }
+
+
+def brute_force_tsp(nodes, positions, depot):
+    best = float("inf")
+    for perm in itertools.permutations(nodes):
+        length = euclidean(depot, positions[perm[0]])
+        for a, b in zip(perm, perm[1:]):
+            length += euclidean(positions[a], positions[b])
+        length += euclidean(positions[perm[-1]], depot)
+        best = min(best, length)
+    return best
+
+
+class TestHeldKarp:
+    def test_degenerate(self):
+        assert held_karp_tsp([], {}, DEPOT) == ([], 0.0)
+        order, length = held_karp_tsp([1], {1: Point(3, 4)}, DEPOT)
+        assert order == [1]
+        assert length == pytest.approx(10.0)
+
+    def test_size_limit(self):
+        positions = {i: Point(i, 0) for i in range(MAX_TSP_NODES + 1)}
+        with pytest.raises(ValueError, match="limited"):
+            held_karp_tsp(list(positions), positions, DEPOT)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("n", [2, 4, 6, 7])
+    def test_matches_brute_force(self, seed, n):
+        positions = random_positions(seed, n)
+        order, length = held_karp_tsp(list(positions), positions, DEPOT)
+        assert sorted(order) == sorted(positions)
+        assert length == pytest.approx(
+            brute_force_tsp(list(positions), positions, DEPOT)
+        )
+
+    def test_line_instance(self):
+        positions = {i: Point(float(i), 0.0) for i in range(1, 6)}
+        order, length = held_karp_tsp(list(positions), positions, DEPOT)
+        assert length == pytest.approx(10.0)  # out and back
+
+
+class TestExactKMinMax:
+    def test_degenerate(self):
+        tours, value = exact_k_minmax([], {}, DEPOT, 3, 1.0, lambda v: 0.0)
+        assert tours == [[], [], []]
+        assert value == 0.0
+
+    def test_limits(self):
+        positions = {
+            i: Point(i, 0) for i in range(MAX_PARTITION_NODES + 1)
+        }
+        with pytest.raises(ValueError, match="limited"):
+            exact_k_minmax(
+                list(positions), positions, DEPOT, 2, 1.0, lambda v: 0.0
+            )
+        with pytest.raises(ValueError):
+            exact_k_minmax([0], {0: Point(1, 0)}, DEPOT, 0, 1.0,
+                           lambda v: 0.0)
+
+    def test_k1_equals_held_karp(self):
+        positions = random_positions(3, 6)
+        service = lambda v: 10.0 * v
+        tours, value = exact_k_minmax(
+            list(positions), positions, DEPOT, 1, 1.0, service
+        )
+        _, travel = held_karp_tsp(list(positions), positions, DEPOT)
+        assert value == pytest.approx(
+            travel + sum(service(v) for v in positions)
+        )
+
+    def test_two_clusters_split_optimally(self):
+        positions = {
+            0: Point(10, 0), 1: Point(11, 0),
+            2: Point(-10, 0), 3: Point(-11, 0),
+        }
+        tours, value = exact_k_minmax(
+            list(positions), positions, DEPOT, 2, 1.0, lambda v: 0.0
+        )
+        groups = [set(t) for t in tours if t]
+        assert {0, 1} in groups and {2, 3} in groups
+        assert value == pytest.approx(22.0)
+
+    def test_value_matches_tours(self):
+        positions = random_positions(4, 7)
+        service = lambda v: 25.0
+        tours, value = exact_k_minmax(
+            list(positions), positions, DEPOT, 2, 2.0, service
+        )
+        realised = max(
+            segment_cost(t, positions, DEPOT, 2.0, service)
+            for t in tours if t
+        )
+        assert value == pytest.approx(realised)
+
+    def test_monotone_in_k(self):
+        positions = random_positions(5, 7)
+        values = []
+        for k in (1, 2, 3):
+            _, value = exact_k_minmax(
+                list(positions), positions, DEPOT, k, 1.0,
+                lambda v: 40.0,
+            )
+            values.append(value)
+        assert values[0] >= values[1] >= values[2]
+
+
+class TestApproximationQuality:
+    """Certify the production solver against the exact optimum."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_kminmax_within_factor_of_optimum(self, seed, k):
+        positions = random_positions(seed, 8)
+        service = lambda v: 100.0 + 10.0 * v
+        _, opt = exact_k_minmax(
+            list(positions), positions, DEPOT, k, 1.0, service
+        )
+        _, approx = solve_k_minmax_tours(
+            list(positions), positions, DEPOT, k, 1.0, service
+        )
+        assert approx >= opt - 1e-6  # sanity: exact really is a bound
+        # Far inside the theoretical constant in practice.
+        assert approx <= 2.0 * opt, (seed, k, opt, approx)

@@ -1,0 +1,110 @@
+"""Unit tests for :mod:`repro.tours.kminmax`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.tours.kminmax import solve_k_minmax_tours
+from repro.tours.splitting import segment_cost
+
+DEPOT = Point(50, 50)
+
+
+def random_instance(seed, n):
+    rng = np.random.default_rng(seed)
+    return {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, size=(n, 2)))
+    }
+
+
+class TestSolveKMinMaxTours:
+    def test_empty_nodes(self):
+        tours, bound = solve_k_minmax_tours(
+            [], {}, DEPOT, 3, 1.0, service=lambda v: 0.0
+        )
+        assert tours == [[], [], []]
+        assert bound == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            solve_k_minmax_tours(
+                [1], {1: Point(0, 0)}, DEPOT, 0, 1.0, service=lambda v: 0.0
+            )
+
+    def test_exactly_k_tours_returned(self):
+        positions = random_instance(seed=1, n=20)
+        tours, _ = solve_k_minmax_tours(
+            list(positions), positions, DEPOT, 4, 1.0,
+            service=lambda v: 10.0,
+        )
+        assert len(tours) == 4
+
+    def test_node_disjoint_cover(self):
+        positions = random_instance(seed=2, n=40)
+        tours, _ = solve_k_minmax_tours(
+            list(positions), positions, DEPOT, 3, 1.0,
+            service=lambda v: 5.0,
+        )
+        flat = [n for t in tours for n in t]
+        assert sorted(flat) == sorted(positions)
+        assert len(set(flat)) == len(flat)
+
+    def test_bound_matches_realised_max(self):
+        positions = random_instance(seed=3, n=30)
+        service = lambda v: float(v % 7) * 50.0
+        tours, bound = solve_k_minmax_tours(
+            list(positions), positions, DEPOT, 2, 1.5, service=service
+        )
+        realised = max(
+            segment_cost(t, positions, DEPOT, 1.5, service)
+            for t in tours if t
+        )
+        assert bound == pytest.approx(realised)
+
+    def test_more_vehicles_no_worse(self):
+        positions = random_instance(seed=4, n=36)
+        service = lambda v: 300.0
+        bounds = []
+        for k in (1, 2, 3, 4):
+            _, bound = solve_k_minmax_tours(
+                list(positions), positions, DEPOT, k, 1.0, service=service
+            )
+            bounds.append(bound)
+        for a, b in zip(bounds, bounds[1:]):
+            assert b <= a * 1.05  # heuristic, allow tiny non-monotonicity
+
+    @pytest.mark.parametrize(
+        "method", ["nearest_neighbor", "greedy_edge", "double_mst",
+                   "christofides"]
+    )
+    def test_all_tsp_methods(self, method):
+        positions = random_instance(seed=5, n=25)
+        tours, bound = solve_k_minmax_tours(
+            list(positions), positions, DEPOT, 2, 1.0,
+            service=lambda v: 1.0, tsp_method=method,
+        )
+        flat = sorted(n for t in tours for n in t)
+        assert flat == sorted(positions)
+        assert bound > 0
+
+    def test_large_instance_fallback_runs(self):
+        """Above the Christofides cap the solver must transparently
+        fall back and still return a valid cover quickly."""
+        positions = random_instance(seed=6, n=300)
+        tours, bound = solve_k_minmax_tours(
+            list(positions), positions, DEPOT, 2, 1.0,
+            service=lambda v: 100.0, tsp_method="christofides",
+        )
+        flat = sorted(n for t in tours for n in t)
+        assert flat == sorted(positions)
+
+    def test_single_node(self):
+        positions = {9: Point(60, 60)}
+        tours, bound = solve_k_minmax_tours(
+            [9], positions, DEPOT, 2, 1.0, service=lambda v: 7.0
+        )
+        assert sorted(t for tour in tours for t in tour) == [9]
+        assert bound == pytest.approx(
+            2 * DEPOT.distance_to(positions[9]) + 7.0
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for :mod:`repro.tours.minchargers`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.tours.minchargers import minimum_chargers_for_bound
+from repro.tours.splitting import segment_cost
+
+DEPOT = Point(50, 50)
+
+
+def random_instance(seed, n):
+    rng = np.random.default_rng(seed)
+    return {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, size=(n, 2)))
+    }
+
+
+class TestMinimumChargers:
+    def test_empty_nodes(self):
+        result = minimum_chargers_for_bound(
+            [], {}, DEPOT, 100.0, 1.0, lambda v: 0.0
+        )
+        assert result.num_chargers == 0
+        assert result.feasible
+        assert result.tours == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            minimum_chargers_for_bound(
+                [1], {1: Point(0, 0)}, DEPOT, 0.0, 1.0, lambda v: 0.0
+            )
+        with pytest.raises(ValueError):
+            minimum_chargers_for_bound(
+                [1], {1: Point(0, 0)}, DEPOT, 1.0, 1.0, lambda v: 0.0,
+                max_chargers=0,
+            )
+
+    def test_single_node_round_trip_infeasible(self):
+        positions = {1: Point(0, 0)}  # ~141 m round trip from center
+        result = minimum_chargers_for_bound(
+            [1], positions, DEPOT, 50.0, 1.0, lambda v: 0.0
+        )
+        assert not result.feasible
+        assert result.num_chargers is None
+
+    def test_generous_bound_needs_one(self):
+        positions = random_instance(seed=1, n=15)
+        result = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, 1e9, 1.0,
+            lambda v: 100.0,
+        )
+        assert result.num_chargers == 1
+
+    def test_result_respects_bound(self):
+        positions = random_instance(seed=2, n=30)
+        service = lambda v: 500.0
+        bound = 6000.0
+        result = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, bound, 1.0, service
+        )
+        assert result.feasible
+        assert result.achieved_delay <= bound + 1e-6
+        for tour in result.tours:
+            assert segment_cost(
+                tour, positions, DEPOT, 1.0, service
+            ) <= bound + 1e-6
+
+    def test_tours_cover_all_nodes(self):
+        positions = random_instance(seed=3, n=25)
+        result = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, 5000.0, 1.0,
+            lambda v: 300.0,
+        )
+        assert result.feasible
+        flat = sorted(n for t in result.tours for n in t)
+        assert flat == sorted(positions)
+
+    def test_tighter_bound_needs_more_chargers(self):
+        positions = random_instance(seed=4, n=40)
+        service = lambda v: 400.0
+        loose = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, 20_000.0, 1.0, service
+        )
+        tight = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, 3_000.0, 1.0, service
+        )
+        assert loose.feasible and tight.feasible
+        assert tight.num_chargers >= loose.num_chargers
+
+    def test_minimality_witness(self):
+        """K-1 chargers must genuinely fail the bound the search
+        settled on (within the solver's determinism)."""
+        from repro.tours.kminmax import solve_k_minmax_tours
+
+        positions = random_instance(seed=5, n=30)
+        service = lambda v: 600.0
+        bound = 8_000.0
+        result = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, bound, 1.0, service
+        )
+        assert result.feasible
+        if result.num_chargers > 1:
+            _, delay = solve_k_minmax_tours(
+                list(positions), positions, DEPOT,
+                result.num_chargers - 1, 1.0, service,
+            )
+            assert delay > bound
+
+    def test_max_chargers_ceiling(self):
+        positions = random_instance(seed=6, n=40)
+        service = lambda v: 100_000.0  # enormous service: needs many
+        result = minimum_chargers_for_bound(
+            list(positions), positions, DEPOT, 150_000.0, 1.0, service,
+            max_chargers=2,
+        )
+        # 40 nodes x 100k service across 2 vehicles >> bound.
+        assert not result.feasible

@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.tours.splitting`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.tours.splitting import (
+    greedy_split_with_bound,
+    segment_cost,
+    split_tour_min_max,
+)
+
+DEPOT = Point(0, 0)
+
+
+def line_positions(n, spacing=10.0):
+    return {i: Point(spacing * i, 0.0) for i in range(1, n + 1)}
+
+
+class TestSegmentCost:
+    def test_empty(self):
+        assert segment_cost([], {}, DEPOT, 1.0, lambda v: 1.0) == 0.0
+
+    def test_single_node(self):
+        positions = {1: Point(3, 4)}
+        cost = segment_cost([1], positions, DEPOT, 1.0, lambda v: 7.0)
+        assert cost == pytest.approx(10.0 + 7.0)
+
+    def test_speed_scales_travel_only(self):
+        positions = {1: Point(10, 0)}
+        slow = segment_cost([1], positions, DEPOT, 1.0, lambda v: 5.0)
+        fast = segment_cost([1], positions, DEPOT, 2.0, lambda v: 5.0)
+        assert slow == pytest.approx(25.0)
+        assert fast == pytest.approx(15.0)
+
+
+class TestGreedySplit:
+    def test_infeasible_single_node(self):
+        positions = {1: Point(100, 0)}
+        segs = greedy_split_with_bound(
+            [1], bound=10.0, positions=positions, depot=DEPOT,
+            speed_mps=1.0, service=lambda v: 0.0,
+        )
+        assert segs is None
+
+    def test_all_fit_one_segment(self):
+        positions = line_positions(3)
+        segs = greedy_split_with_bound(
+            [1, 2, 3], bound=1e9, positions=positions, depot=DEPOT,
+            speed_mps=1.0, service=lambda v: 1.0,
+        )
+        assert segs == [[1, 2, 3]]
+
+    def test_each_segment_respects_bound(self):
+        positions = line_positions(8)
+        bound = 200.0  # > the farthest single round trip (170)
+        segs = greedy_split_with_bound(
+            list(range(1, 9)), bound, positions, DEPOT, 1.0,
+            service=lambda v: 10.0,
+        )
+        assert segs is not None
+        for seg in segs:
+            assert segment_cost(seg, positions, DEPOT, 1.0,
+                                lambda v: 10.0) <= bound + 1e-6
+
+    def test_concatenation_preserves_order(self):
+        positions = line_positions(10)
+        segs = greedy_split_with_bound(
+            list(range(1, 11)), 250.0, positions, DEPOT, 1.0,
+            service=lambda v: 5.0,
+        )
+        assert segs is not None  # 250 > farthest round trip (205)
+        flat = [n for seg in segs for n in seg]
+        assert flat == list(range(1, 11))
+
+
+class TestSplitTourMinMax:
+    def test_pads_to_k_tours(self):
+        positions = {1: Point(1, 0)}
+        segs, bound = split_tour_min_max(
+            [1], 4, positions, DEPOT, 1.0, lambda v: 1.0
+        )
+        assert len(segs) == 4
+        assert segs[0] == [1]
+        assert all(s == [] for s in segs[1:])
+
+    def test_empty_order(self):
+        segs, bound = split_tour_min_max(
+            [], 3, {}, DEPOT, 1.0, lambda v: 0.0
+        )
+        assert segs == [[], [], []]
+        assert bound == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            split_tour_min_max([1], 0, {1: Point(0, 1)}, DEPOT, 1.0,
+                               lambda v: 0.0)
+
+    def test_balances_heavy_service(self):
+        """Four identical far-apart nodes with heavy service, K=2:
+        the split must not put everything in one tour."""
+        positions = {
+            1: Point(10, 0), 2: Point(10, 1), 3: Point(10, 2), 4: Point(10, 3)
+        }
+        segs, bound = split_tour_min_max(
+            [1, 2, 3, 4], 2, positions, DEPOT, 1.0, lambda v: 1000.0
+        )
+        sizes = sorted(len(s) for s in segs)
+        assert sizes == [2, 2]
+        assert bound < 4 * 1000.0
+
+    def test_achieved_bound_matches_segments(self):
+        positions = line_positions(7)
+        service = lambda v: 3.0 * v
+        segs, bound = split_tour_min_max(
+            list(range(1, 8)), 3, positions, DEPOT, 1.0, service
+        )
+        real = max(
+            segment_cost(s, positions, DEPOT, 1.0, service)
+            for s in segs if s
+        )
+        assert bound == pytest.approx(real)
+
+    def test_monotone_in_k(self):
+        """More vehicles never makes the best split worse."""
+        positions = line_positions(12)
+        service = lambda v: 20.0
+        bounds = []
+        for k in range(1, 6):
+            _, bound = split_tour_min_max(
+                list(range(1, 13)), k, positions, DEPOT, 1.0, service
+            )
+            bounds.append(bound)
+        for a, b in zip(bounds, bounds[1:]):
+            assert b <= a + 1e-6
+
+    def test_split_beats_single_tour_materially(self):
+        """Regression for the open_cost reset bug: with K=2 and heavy
+        uniform service, the achieved bound must be close to half the
+        single-tour cost, not equal to it."""
+        rng = np.random.default_rng(8)
+        positions = {
+            i: Point(float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0, 100, size=(60, 2)), 1)
+        }
+        order = sorted(positions)
+        service = lambda v: 5000.0
+        single = segment_cost(order, positions, Point(50, 50), 1.0, service)
+        _, bound = split_tour_min_max(
+            order, 2, positions, Point(50, 50), 1.0, service
+        )
+        assert bound < 0.7 * single

@@ -1,0 +1,85 @@
+"""Unit tests for :mod:`repro.tours.tour`."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.tours.tour import Tour, total_stops, tour_delay
+
+
+@pytest.fixture
+def positions():
+    return {1: Point(10, 0), 2: Point(10, 10), 3: Point(0, 10)}
+
+
+DEPOT = Point(0, 0)
+
+
+class TestTour:
+    def test_empty(self):
+        tour = Tour()
+        assert tour.is_empty()
+        assert len(tour) == 0
+        assert tour.travel_length({}, DEPOT) == 0.0
+
+    def test_membership_and_iter(self):
+        tour = Tour(stops=[1, 2])
+        assert 1 in tour and 3 not in tour
+        assert list(tour) == [1, 2]
+
+    def test_index_of(self):
+        tour = Tour(stops=[3, 1, 2])
+        assert tour.index_of(1) == 1
+        with pytest.raises(ValueError):
+            tour.index_of(99)
+
+    def test_insert_after_anchor(self):
+        tour = Tour(stops=[1, 3])
+        idx = tour.insert_after(1, 2)
+        assert idx == 1
+        assert tour.stops == [1, 2, 3]
+
+    def test_insert_after_depot(self):
+        tour = Tour(stops=[2])
+        idx = tour.insert_after(None, 1)
+        assert idx == 0
+        assert tour.stops == [1, 2]
+
+    def test_insert_duplicate_rejected(self):
+        tour = Tour(stops=[1])
+        with pytest.raises(ValueError):
+            tour.insert_after(None, 1)
+
+    def test_insert_missing_anchor(self):
+        tour = Tour(stops=[1])
+        with pytest.raises(ValueError):
+            tour.insert_after(42, 2)
+
+    def test_travel_length_square(self, positions):
+        tour = Tour(stops=[1, 2, 3])
+        assert tour.travel_length(positions, DEPOT) == pytest.approx(40.0)
+
+    def test_copy_independent(self):
+        tour = Tour(stops=[1, 2])
+        clone = tour.copy()
+        clone.stops.append(3)
+        assert tour.stops == [1, 2]
+
+
+class TestTourDelay:
+    def test_empty(self, positions):
+        assert tour_delay([], positions, DEPOT, 1.0, lambda v: 99.0) == 0.0
+
+    def test_travel_plus_service(self, positions):
+        delay = tour_delay(
+            [1, 2, 3], positions, DEPOT, speed_mps=2.0,
+            service_time=lambda v: 5.0,
+        )
+        assert delay == pytest.approx(40.0 / 2.0 + 15.0)
+
+    def test_invalid_speed(self, positions):
+        with pytest.raises(ValueError):
+            tour_delay([1], positions, DEPOT, 0.0, lambda v: 0.0)
+
+
+def test_total_stops():
+    assert total_stops([Tour([1, 2]), Tour(), Tour([3])]) == 3

@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.tours.tsp`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.tours.improve import cycle_travel_length
+from repro.tours.tsp import (
+    DEPOT,
+    build_tsp_order,
+    christofides_tour,
+    double_mst_tour,
+    greedy_edge_tour,
+    nearest_neighbor_tour,
+)
+
+METHODS = ["nearest_neighbor", "greedy_edge", "double_mst", "christofides"]
+
+
+def random_instance(seed, n):
+    rng = np.random.default_rng(seed)
+    return {
+        i: Point(float(x), float(y))
+        for i, (x, y) in enumerate(rng.uniform(0, 100, size=(n, 2)))
+    }
+
+
+class TestBuildTspOrder:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_is_permutation(self, method):
+        positions = random_instance(seed=1, n=30)
+        order = build_tsp_order(
+            list(positions), positions, Point(50, 50), method=method
+        )
+        assert sorted(order) == sorted(positions)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_depot_not_in_order(self, method):
+        positions = random_instance(seed=2, n=12)
+        order = build_tsp_order(
+            list(positions), positions, Point(0, 0), method=method
+        )
+        assert DEPOT not in order
+
+    def test_empty(self):
+        assert build_tsp_order([], {}, Point(0, 0)) == []
+
+    def test_single_node(self):
+        positions = {7: Point(1, 1)}
+        assert build_tsp_order([7], positions, Point(0, 0)) == [7]
+
+    def test_two_nodes(self):
+        positions = {1: Point(1, 0), 2: Point(2, 0)}
+        order = build_tsp_order([1, 2], positions, Point(0, 0))
+        assert sorted(order) == [1, 2]
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown TSP method"):
+            build_tsp_order([1], {1: Point(0, 0)}, Point(0, 0), method="x")
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_collinear_points(self, method):
+        positions = {i: Point(float(i), 0.0) for i in range(1, 8)}
+        order = build_tsp_order(
+            list(positions), positions, Point(0, 0), method=method
+        )
+        assert sorted(order) == list(range(1, 8))
+
+    def test_tour_quality_sane(self):
+        """All constructions stay within a small factor of the best
+        construction found (sanity, not a strict approximation test)."""
+        positions = random_instance(seed=3, n=40)
+        depot = Point(50, 50)
+        lengths = {}
+        for method in METHODS:
+            order = build_tsp_order(list(positions), positions, depot, method)
+            lengths[method] = cycle_travel_length(order, positions, depot)
+        best = min(lengths.values())
+        for method, length in lengths.items():
+            assert length <= 2.5 * best, (method, lengths)
+
+
+class TestIndividualConstructions:
+    def test_nearest_neighbor_starts_at_start(self):
+        positions = random_instance(seed=4, n=10)
+        positions["s"] = Point(0, 0)
+        cycle = nearest_neighbor_tour(list(positions), positions, "s")
+        assert cycle[0] == "s"
+        assert sorted(map(str, cycle)) == sorted(map(str, positions))
+
+    def test_nearest_neighbor_greedy_property(self):
+        # On a line, NN from the left end visits in order.
+        positions = {i: Point(float(i), 0.0) for i in range(5)}
+        cycle = nearest_neighbor_tour(list(positions), positions, 0)
+        assert cycle == [0, 1, 2, 3, 4]
+
+    def test_greedy_edge_cycle_valid(self):
+        positions = random_instance(seed=5, n=25)
+        positions["s"] = Point(50, 50)
+        cycle = greedy_edge_tour(list(positions), positions, "s")
+        assert cycle[0] == "s"
+        assert len(cycle) == len(positions)
+        assert len(set(map(str, cycle))) == len(positions)
+
+    def test_double_mst_valid(self):
+        positions = random_instance(seed=6, n=25)
+        positions["s"] = Point(50, 50)
+        cycle = double_mst_tour(list(positions), positions, "s")
+        assert cycle[0] == "s"
+        assert len(set(map(str, cycle))) == len(positions)
+
+    def test_christofides_valid(self):
+        positions = random_instance(seed=7, n=20)
+        positions["s"] = Point(50, 50)
+        cycle = christofides_tour(list(positions), positions, "s")
+        assert cycle[0] == "s"
+        assert len(set(map(str, cycle))) == len(positions)
+
+    def test_christofides_small_fallback(self):
+        positions = {1: Point(0, 1), 2: Point(1, 0)}
+        cycle = christofides_tour([1, 2], positions, 1)
+        assert cycle[0] == 1

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.viz`."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.baselines.kedf import kedf_schedule
+from repro.core.appro import appro_schedule
+from repro.viz.render import _battery_color, render_network, render_schedule
+from repro.viz.svg import SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+        with pytest.raises(ValueError):
+            SvgCanvas(10, 10, pixels_per_meter=0)
+
+    def test_coordinate_flip(self):
+        canvas = SvgCanvas(100, 100, pixels_per_meter=1.0, margin_px=0.0)
+        # World origin (bottom-left) maps to pixel bottom-left.
+        assert canvas.to_px(0, 0) == (0.0, 100.0)
+        assert canvas.to_px(0, 100) == (0.0, 0.0)
+
+    def test_render_is_valid_xml(self):
+        canvas = SvgCanvas(50, 50)
+        canvas.circle(10, 10, 2.7)
+        canvas.dot(5, 5)
+        canvas.line((0, 0), (50, 50), dashed=True)
+        canvas.polyline([(0, 0), (10, 10), (20, 0)])
+        canvas.rect(0, 0, 50, 50)
+        canvas.text(25, 25, "hello <world>")
+        root = ET.fromstring(canvas.render())
+        assert root.tag.endswith("svg")
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(1, 1, "<&>")
+        assert "&lt;&amp;&gt;" in canvas.render()
+
+    def test_polyline_needs_two_points(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.polyline([(1, 1)])
+        assert "polyline" not in canvas.render()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(10, 10)
+        canvas.dot(5, 5)
+        out = tmp_path / "x.svg"
+        canvas.save(out)
+        assert out.read_text().startswith("<svg")
+
+
+class TestBatteryColor:
+    def test_states(self):
+        assert _battery_color(0.0) == "#c00000"
+        assert _battery_color(0.1) == "#e69f00"
+        assert _battery_color(0.9) == "#2e8b57"
+
+
+class TestRender:
+    def test_render_network(self, depleted_net):
+        canvas = render_network(depleted_net, show_comm_edges=True)
+        svg = canvas.render()
+        ET.fromstring(svg)
+        assert "BS/depot" in svg
+
+    def test_render_core_schedule(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = appro_schedule(depleted_net, requests, 2)
+        svg = render_schedule(depleted_net, sched).render()
+        ET.fromstring(svg)
+        assert "MCV 0" in svg and "MCV 1" in svg
+        assert "polyline" in svg
+
+    def test_render_baseline_schedule(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        sched = kedf_schedule(depleted_net, requests, 2)
+        svg = render_schedule(depleted_net, sched).render()
+        ET.fromstring(svg)
+        assert "MCV 0" in svg
