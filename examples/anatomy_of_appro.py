@@ -69,7 +69,7 @@ def main() -> None:
     print("\n== Step 5: initial K min-max tours over V'_H ==")
     print(
         f"  initial longest delay: "
-        f"{art.initial_longest_delay / 3600:.2f} h"
+        f"{art.initial_longest_delay_s / 3600:.2f} h"
     )
 
     print("\n== Step 6: extension of S_I \\ V'_H ==")

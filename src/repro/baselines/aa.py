@@ -29,7 +29,6 @@ from repro.baselines.common import (
     charge_times_for_requests,
 )
 from repro.energy.charging import ChargerSpec
-from repro.geometry.distance import euclidean
 from repro.network.topology import WRSN
 from repro.tours.tsp import nearest_neighbor_tour
 

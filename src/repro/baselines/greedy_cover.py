@@ -22,7 +22,7 @@ shows the cost of ignoring the constraint.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.core.schedule import ChargingSchedule
 from repro.core.validation import resolve_conflicts

@@ -20,7 +20,6 @@ from scipy.optimize import linear_sum_assignment
 
 from repro.baselines.common import (
     BaselineSchedule,
-    Visit,
     build_itinerary,
     charge_times_for_requests,
     default_lifetimes,

@@ -14,7 +14,7 @@ Appro only ``|S_I|`` sojourn disks.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines.common import (
     BaselineSchedule,

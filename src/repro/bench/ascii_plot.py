@@ -8,7 +8,7 @@ of the text tables.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.bench.runner import ExperimentResult
 

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.workloads import PaperParams, make_instance
 from repro.sim.metrics import SimMetrics
-from repro.sim.scenario import ALGORITHMS, AlgorithmSpec, get_algorithm
+from repro.sim.scenario import get_algorithm
 from repro.sim.simulator import MonitoringSimulation
 
 #: Figure-legend order used everywhere in reporting.

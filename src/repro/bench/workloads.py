@@ -30,11 +30,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.energy.battery import Battery
 from repro.energy.charging import ChargerSpec
 from repro.geometry.deployment import Field
 from repro.network.topology import WRSN, random_wrsn

@@ -6,6 +6,7 @@ human-readable output to stdout, and returns a process exit code.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import Dict
 
@@ -273,3 +274,31 @@ def cmd_compare(args) -> int:
         f"the best one-to-one baseline."
     )
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the project's static-analysis rules (repro.lint)."""
+    from repro.lint import (
+        all_rules,
+        format_findings_json,
+        format_findings_text,
+        lint_paths,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<16} {rule.severity.value:<8} "
+                  f"{rule.description}")
+        return 0
+    try:
+        findings = lint_paths(args.paths, select=args.select or None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_findings_json(findings))
+    elif findings:
+        print(format_findings_text(findings))
+    else:
+        print("clean: no findings")
+    return 1 if findings else 0

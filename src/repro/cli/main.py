@@ -131,6 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ins.set_defaults(func=commands.cmd_inspect)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's static-analysis rules over sources",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select", nargs="+", metavar="RULE",
+        help="only run these rule ids (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint.set_defaults(func=commands.cmd_lint)
+
     return parser
 
 

@@ -30,7 +30,7 @@ negligible delay (see ``EXPERIMENTS.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
@@ -56,7 +56,7 @@ class ApproArtifacts:
         aux_graph: the conflict graph ``H``.
         conflict_free_core: the MIS ``V'_H`` of ``H``.
         delta_h: maximum degree of ``H`` (enters the ratio).
-        initial_longest_delay: longest delay of the K tours before the
+        initial_longest_delay_s: longest delay of the K tours before the
             extension step.
         insertion_outcomes: per-candidate outcome of the extension
             loop (``skipped`` / ``case1`` / ``case2`` / ``appended``).
@@ -69,7 +69,7 @@ class ApproArtifacts:
     aux_graph: nx.Graph
     conflict_free_core: List[int]
     delta_h: int
-    initial_longest_delay: float
+    initial_longest_delay_s: float
     insertion_outcomes: Dict[int, str] = field(default_factory=dict)
     waits_inserted: int = 0
 
@@ -205,7 +205,7 @@ def appro_schedule(
         artifacts.aux_graph = aux_graph
         artifacts.conflict_free_core = list(core)
         artifacts.delta_h = auxiliary_max_degree(aux_graph)
-        artifacts.initial_longest_delay = initial_longest
+        artifacts.initial_longest_delay_s = initial_longest
         artifacts.insertion_outcomes = outcomes
         artifacts.waits_inserted = waits
     return schedule
@@ -225,7 +225,7 @@ def appro_schedule_with_artifacts(
         aux_graph=nx.Graph(),
         conflict_free_core=[],
         delta_h=0,
-        initial_longest_delay=0.0,
+        initial_longest_delay_s=0.0,
     )
     schedule = appro_schedule(
         network, request_ids, num_chargers, artifacts=shell, **kwargs

@@ -15,10 +15,11 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.energy.charging import ChargerSpec
 from repro.geometry.point import Point
+from repro.units import approx_zero
 
 #: Lemma 2: ``Δ_H ≤ ⌈8π⌉``.
 DELTA_H_BOUND = math.ceil(8 * math.pi)
@@ -133,12 +134,12 @@ def empirical_lower_bound(
 
 
 def empirical_ratio(
-    achieved_delay: float,
-    lower_bound: float,
+    achieved_delay_s: float,
+    lower_bound_s: float,
 ) -> Optional[float]:
     """``achieved / lower_bound``, or ``None`` for a zero bound."""
-    if achieved_delay < 0 or lower_bound < 0:
+    if achieved_delay_s < 0 or lower_bound_s < 0:
         raise ValueError("delays must be non-negative")
-    if lower_bound == 0.0:
+    if approx_zero(lower_bound_s):
         return None
-    return achieved_delay / lower_bound
+    return achieved_delay_s / lower_bound_s

@@ -26,11 +26,9 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Mapping,
     Optional,
-    Sequence,
     Set,
     Tuple,
 )

@@ -21,7 +21,7 @@ the earlier one finishes, iterating to a fixed point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.core.schedule import ChargingSchedule
 

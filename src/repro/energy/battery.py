@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.units import approx_zero
+
 #: Battery capacity used throughout the paper's evaluation (Section VI-A).
 DEFAULT_CAPACITY_J = 10_800.0
 
@@ -101,7 +103,7 @@ class Battery:
         target_j = fraction * self.capacity_j
         if self.level_j <= target_j:
             return 0.0
-        if power_draw_w == 0.0:
+        if approx_zero(power_draw_w):
             return float("inf")
         return (self.level_j - target_j) / power_draw_w
 

@@ -21,7 +21,8 @@ simulator compute depletion times in closed form instead of ticking.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+
+from repro.units import approx_zero
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,6 @@ def lifetime_seconds(
         raise ValueError(f"residual energy must be non-negative: {residual_j}")
     if power_draw_w < 0:
         raise ValueError(f"power draw must be non-negative: {power_draw_w}")
-    if power_draw_w == 0.0:
+    if approx_zero(power_draw_w):
         return float("inf")
     return residual_j / power_draw_w

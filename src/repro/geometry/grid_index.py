@@ -64,27 +64,27 @@ class GridIndex:
         """All labels in the index."""
         return self._positions.keys()
 
-    def within(self, center: PointLike, radius: float) -> List[Hashable]:
-        """All labels whose point lies within ``radius`` of ``center``.
+    def within(self, center: PointLike, radius_m: float) -> List[Hashable]:
+        """All labels whose point lies within ``radius_m`` of ``center``.
 
-        The boundary is inclusive (``d <= radius``), matching the
+        The boundary is inclusive (``d <= radius_m``), matching the
         paper's coverage definition ``d(u, v) <= γ``.
         """
-        if radius < 0:
-            raise ValueError(f"radius must be non-negative, got {radius}")
+        if radius_m < 0:
+            raise ValueError(f"radius must be non-negative, got {radius_m}")
         cx, cy = center
-        span = int(math.ceil(radius / self._cell_size)) + 1
+        span = int(math.ceil(radius_m / self._cell_size)) + 1
         base = self._cell_of(cx, cy)
         found: List[Hashable] = []
         for dx in range(-span, span + 1):
             for dy in range(-span, span + 1):
                 cell = (base[0] + dx, base[1] + dy)
                 for label in self._cells.get(cell, ()):
-                    if euclidean(self._positions[label], (cx, cy)) <= radius:
+                    if euclidean(self._positions[label], (cx, cy)) <= radius_m:
                         found.append(label)
         return found
 
-    def neighbors_of(self, label: Hashable, radius: float) -> List[Hashable]:
-        """Labels within ``radius`` of ``label``'s point, excluding itself."""
+    def neighbors_of(self, label: Hashable, radius_m: float) -> List[Hashable]:
+        """Labels within ``radius_m`` of ``label``'s point, excluding itself."""
         center = self._positions[label]
-        return [other for other in self.within(center, radius) if other != label]
+        return [other for other in self.within(center, radius_m) if other != label]

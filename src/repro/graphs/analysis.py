@@ -19,7 +19,7 @@ user can *predict* which regime an instance is in before simulating:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.energy.charging import ChargerSpec
 from repro.energy.consumption import RadioModel, sensor_power_draw

@@ -31,7 +31,7 @@ def build_auxiliary_graph(
     sojourn_candidates: Iterable[int],
     coverage: Mapping[int, FrozenSet[int]],
     positions: Mapping[int, Point],
-    radius: float,
+    radius_m: float,
 ) -> nx.Graph:
     """Build ``H`` over the candidate sojourn locations.
 
@@ -41,22 +41,22 @@ def build_auxiliary_graph(
             :func:`repro.graphs.coverage.coverage_sets`).
         positions: id -> position (used to prune candidate pairs to
             those within ``2γ`` before the exact set test).
-        radius: the charging radius ``γ``.
+        radius_m: the charging radius ``γ``.
 
     Returns:
         ``networkx.Graph`` with an edge wherever two candidates' disks
         share at least one sensor; edges carry the Euclidean
         ``weight``.
     """
-    if radius <= 0:
-        raise ValueError(f"charging radius must be positive, got {radius}")
+    if radius_m <= 0:
+        raise ValueError(f"charging radius must be positive, got {radius_m}")
     candidates = sorted(sojourn_candidates)
     graph = nx.Graph()
     graph.add_nodes_from(candidates)
-    index = GridIndex({c: positions[c] for c in candidates}, cell_size=radius)
+    index = GridIndex({c: positions[c] for c in candidates}, cell_size=radius_m)
     for cand in candidates:
         # Disk intersection requires centre distance <= 2γ.
-        for other in index.neighbors_of(cand, 2.0 * radius):
+        for other in index.neighbors_of(cand, 2.0 * radius_m):
             if other > cand and coverage[cand] & coverage[other]:
                 graph.add_edge(
                     cand,

@@ -9,7 +9,7 @@ sensors, and a feasible solution must cover all of ``V_s``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Set
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
 
 from repro.geometry.grid_index import GridIndex
 from repro.geometry.point import Point
@@ -18,15 +18,15 @@ from repro.geometry.point import Point
 def coverage_sets(
     candidates: Iterable[int],
     positions: Mapping[int, Point],
-    radius: float,
-    targets: Iterable[int] = None,
+    radius_m: float,
+    targets: Optional[Iterable[int]] = None,
 ) -> Dict[int, FrozenSet[int]]:
     """``N_c⁺(v)`` for every candidate sojourn location ``v``.
 
     Args:
         candidates: sojourn-location ids (a subset of the sensors).
         positions: id -> position for all sensors involved.
-        radius: the charging radius ``γ``.
+        radius_m: the charging radius ``γ``.
         targets: the sensor population that can be covered; defaults to
             every key of ``positions``. A candidate always covers
             itself even if absent from ``targets``.
@@ -35,15 +35,15 @@ def coverage_sets(
         Mapping from candidate id to the frozen set of covered sensor
         ids (including the candidate itself).
     """
-    if radius <= 0:
-        raise ValueError(f"charging radius must be positive, got {radius}")
+    if radius_m <= 0:
+        raise ValueError(f"charging radius must be positive, got {radius_m}")
     target_ids = set(positions) if targets is None else set(targets)
     index = GridIndex(
-        {t: positions[t] for t in target_ids}, cell_size=radius
+        {t: positions[t] for t in target_ids}, cell_size=radius_m
     )
     result: Dict[int, FrozenSet[int]] = {}
     for cand in candidates:
-        covered = set(index.within(positions[cand], radius))
+        covered = set(index.within(positions[cand], radius_m))
         covered.add(cand)
         result[cand] = frozenset(covered)
     return result

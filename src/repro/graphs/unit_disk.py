@@ -21,7 +21,7 @@ from repro.geometry.point import Point
 
 def build_charging_graph(
     positions: Mapping[int, Point],
-    radius: float,
+    radius_m: float,
     nodes: Optional[Iterable[int]] = None,
 ) -> nx.Graph:
     """Build the unit-disk charging graph.
@@ -29,7 +29,7 @@ def build_charging_graph(
     Args:
         positions: sensor id -> position for at least every node in
             ``nodes``.
-        radius: the charging radius ``γ``; the edge rule is
+        radius_m: the charging radius ``γ``; the edge rule is
             ``d(u, v) <= γ`` (boundary inclusive, matching ``N_c``).
         nodes: the to-be-charged subset ``V_s``; defaults to every key
             of ``positions``.
@@ -38,16 +38,16 @@ def build_charging_graph(
         ``networkx.Graph`` whose nodes carry a ``pos`` attribute and
         whose edges carry the Euclidean ``weight``.
     """
-    if radius <= 0:
-        raise ValueError(f"charging radius must be positive, got {radius}")
+    if radius_m <= 0:
+        raise ValueError(f"charging radius must be positive, got {radius_m}")
     node_list = sorted(positions) if nodes is None else sorted(nodes)
     graph = nx.Graph()
     for node in node_list:
         graph.add_node(node, pos=positions[node])
-    index = GridIndex({n: positions[n] for n in node_list}, cell_size=radius)
+    index = GridIndex({n: positions[n] for n in node_list}, cell_size=radius_m)
     for node in node_list:
         p = positions[node]
-        for other in index.neighbors_of(node, radius):
+        for other in index.neighbors_of(node, radius_m):
             if other > node:
                 graph.add_edge(
                     node, other, weight=p.distance_to(positions[other])

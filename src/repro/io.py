@@ -16,10 +16,9 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-from repro.baselines.common import BaselineSchedule, Visit
+from repro.baselines.common import BaselineSchedule
 from repro.core.schedule import ChargingSchedule
 from repro.energy.battery import Battery
-from repro.energy.charging import ChargerSpec
 from repro.geometry.deployment import Field
 from repro.geometry.point import Point
 from repro.network.nodes import BaseStation, Depot

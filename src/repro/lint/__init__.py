@@ -1,0 +1,55 @@
+"""Project-specific static analysis (``repro lint``).
+
+The paper's correctness rests on invariants the type system cannot
+express — Definition 1's no-simultaneous-charging constraint, the
+J/W/s/m unit discipline of :mod:`repro.units`, and deterministic
+seeded experiments. This package checks the *statically visible*
+consequences of those invariants at review time, before
+:mod:`repro.core.validation` ever sees a schedule at runtime:
+
+* an AST visitor framework (:mod:`repro.lint.visitor`) plus a rule
+  registry (:mod:`repro.lint.registry`) and a
+  :class:`~repro.lint.findings.Finding` record with ``file:line``
+  spans and severities;
+* six project rules (:mod:`repro.lint.rules`): unit-suffix
+  discipline, no exact float equality, seeded randomness, no mutable
+  defaults, the import-layering contract, and API-doc drift;
+* inline suppression via ``# repro-lint: disable=<rule>``
+  (:mod:`repro.lint.pragmas`).
+
+Run it as ``repro lint [paths...]`` (``--format=json`` for machines)
+or through :func:`lint_paths`; ``tests/test_lint_self.py`` gates the
+repository's own sources in tier-1.
+"""
+
+from repro.lint.engine import iter_python_files, lint_paths, max_severity
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    format_findings_json,
+    format_findings_text,
+)
+from repro.lint.registry import (
+    FileRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+    rule_ids,
+)
+
+__all__ = [
+    "FileRule",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "format_findings_json",
+    "format_findings_text",
+    "iter_python_files",
+    "lint_paths",
+    "max_severity",
+    "register",
+    "rule_ids",
+]

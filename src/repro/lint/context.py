@@ -1,0 +1,74 @@
+"""Per-file context handed to every lint rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.lint.pragmas import PragmaIndex
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file.
+
+    Attributes:
+        path: absolute path of the file.
+        display_path: path as given on the command line (what findings
+            report).
+        source: full source text.
+        lines: source split into lines (1-based access via
+            ``lines[lineno - 1]``).
+        tree: the parsed :mod:`ast` module.
+        pragmas: suppression pragmas found in the file.
+        module_name: dotted module name when the file lives under a
+            ``repro`` package tree (``repro.energy.battery``), else
+            ``None``.
+        in_tests: whether the file lives under a ``tests`` directory
+            (some rules, e.g. seeded-rng, do not apply there).
+    """
+
+    path: Path
+    display_path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    pragmas: PragmaIndex
+    module_name: Optional[str]
+    in_tests: bool
+
+    @classmethod
+    def from_source(
+        cls, path: Path, source: str, display_path: Optional[str] = None
+    ) -> "FileContext":
+        """Parse ``source`` and build the full context for ``path``."""
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            display_path=display_path or str(path),
+            source=source,
+            lines=lines,
+            tree=ast.parse(source, filename=str(path)),
+            pragmas=PragmaIndex(lines),
+            module_name=_module_name_of(path),
+            in_tests="tests" in path.parts,
+        )
+
+
+def _module_name_of(path: Path) -> Optional[str]:
+    """Dotted module name for files under a ``repro`` package tree."""
+    parts: Tuple[str, ...] = path.parts
+    if "repro" not in parts:
+        return None
+    root = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    rel = parts[root:]
+    if rel[-1].endswith(".py"):
+        rel = rel[:-1] + (rel[-1][: -len(".py")],)
+    # ``__init__`` is kept so relative-import resolution is uniform:
+    # one dot always strips exactly the final component.
+    return ".".join(rel)
+
+
+__all__ = ["FileContext"]

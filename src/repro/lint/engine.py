@@ -1,0 +1,122 @@
+"""The lint engine: collect files, run rules, return findings.
+
+:func:`lint_paths` is the single entry point the CLI and the tier-1
+self-gate both call: it expands the given files/directories to Python
+sources, parses each once into a shared :class:`FileContext`, runs
+every registered per-file rule, then every project-level rule, and
+returns the sorted findings. A file that fails to parse yields a
+single ``parse-error`` finding instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import FileRule, ProjectRule, all_rules, rule_ids
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build",
+     "dist", ".venv", "venv", ".eggs"}
+)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Tuple[Path, str]]:
+    """``(absolute_path, display_path)`` for every ``.py`` under paths.
+
+    Files are returned sorted by display path; duplicates (the same
+    file reached through two arguments) are dropped.
+    """
+    seen = set()
+    out: List[Tuple[Path, str]] = []
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            candidates = sorted(
+                p
+                for p in base.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        else:
+            candidates = [base]
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            out.append((resolved, str(path)))
+    out.sort(key=lambda item: item[1])
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run every registered rule over ``paths``.
+
+    Args:
+        paths: files and/or directories to lint.
+        select: when given, only run rules with these ids.
+
+    Returns:
+        All findings, sorted by (path, line, col, rule).
+
+    Raises:
+        ValueError: if ``select`` names a rule that is not registered
+            (a typo would otherwise silently disable linting).
+    """
+    wanted = set(select) if select is not None else None
+    if wanted is not None:
+        unknown = wanted - set(rule_ids())
+        if unknown:
+            known = ", ".join(rule_ids())
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                f"(known rules: {known})"
+            )
+    rules = [
+        r for r in all_rules() if wanted is None or r.id in wanted
+    ]
+    findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    for path, display in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext.from_source(path, source, display)
+        except (OSError, SyntaxError, ValueError) as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=getattr(exc, "lineno", 0) or 0,
+                    col=0,
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    message=f"cannot lint file: {exc}",
+                )
+            )
+            continue
+        contexts.append(ctx)
+        for rule in rules:
+            if isinstance(rule, FileRule) and rule.applies_to(ctx):
+                findings.extend(rule.check_file(ctx))
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(contexts))
+    return sorted(findings)
+
+
+def max_severity(findings: Iterable[Finding]) -> Optional[Severity]:
+    """The worst severity present, or ``None`` for a clean run."""
+    worst: Optional[Severity] = None
+    for f in findings:
+        if f.severity is Severity.ERROR:
+            return Severity.ERROR
+        worst = f.severity
+    return worst
+
+
+__all__ = ["iter_python_files", "lint_paths", "max_severity"]

@@ -1,0 +1,92 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins one defect to a ``file:line`` span with a stable rule
+id, a severity, and a human-readable message. The engine sorts and
+formats findings; rules only construct them.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the build (architecture and invariant
+    violations); ``WARNING`` findings fail ``repro lint`` by default
+    but can be tolerated with ``--warnings-ok``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One defect found by a lint rule.
+
+    Attributes:
+        path: file the finding is in (as given to the engine).
+        line: 1-based line number (0 for whole-file findings).
+        col: 0-based column offset.
+        rule: stable rule id, e.g. ``"float-eq"``.
+        severity: :class:`Severity` of the defect.
+        message: human-readable description.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format_text(self) -> str:
+        """``file:line:col: severity [rule] message`` (one line)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value} [{self.rule}] {self.message}"
+        )
+
+
+def format_findings_text(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    items = sorted(findings)
+    lines = [f.format_text() for f in items]
+    n_err = sum(1 for f in items if f.severity is Severity.ERROR)
+    n_warn = len(items) - n_err
+    lines.append(
+        f"{len(items)} finding(s): {n_err} error(s), {n_warn} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def format_findings_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report: a JSON array of finding objects."""
+    payload: List[dict] = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "rule": f.rule,
+            "severity": f.severity.value,
+            "message": f.message,
+        }
+        for f in sorted(findings)
+    ]
+    return json.dumps(payload, indent=2)
+
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "format_findings_json",
+    "format_findings_text",
+]

@@ -1,0 +1,55 @@
+"""Inline suppression pragmas.
+
+A finding can be silenced where an invariant is *deliberately* bent —
+e.g. the tolerance helpers in :mod:`repro.units` are the one place
+allowed to spell a float comparison — by putting a pragma comment on
+the flagged line::
+
+    if level_j == 0.0:  # repro-lint: disable=float-eq
+
+``disable=all`` silences every rule on that line. A file-level pragma
+(``# repro-lint: disable-file=<rule>``) on any line of the file
+silences the rule for the whole file; it is meant for generated code
+and test fixtures, not for day-to-day suppression.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, Set
+
+_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+
+def _parse_rules(raw: str) -> FrozenSet[str]:
+    return frozenset(r.strip() for r in raw.split(",") if r.strip())
+
+
+class PragmaIndex:
+    """Per-file index of suppression pragmas.
+
+    Built once per linted file from its source lines; rules query
+    :meth:`suppressed` for each candidate finding.
+    """
+
+    def __init__(self, lines: Iterable[str]):
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._file_wide: Set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            m = _LINE_RE.search(text)
+            if m:
+                self._by_line[lineno] = _parse_rules(m.group(1))
+            m = _FILE_RE.search(text)
+            if m:
+                self._file_wide.update(_parse_rules(m.group(1)))
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is disabled at ``line`` (1-based)."""
+        if rule in self._file_wide or "all" in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        return rules is not None and (rule in rules or "all" in rules)
+
+
+__all__ = ["PragmaIndex"]

@@ -1,0 +1,96 @@
+"""Rule base classes and the rule registry.
+
+A rule is a class with a stable ``id``, a default :class:`Severity`,
+and either a per-file check (:class:`FileRule`) or a whole-project
+check (:class:`ProjectRule`). Decorating the class with
+:func:`register` adds it to the global registry the engine runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Type
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+
+
+class Rule:
+    """Common interface of all lint rules."""
+
+    #: Stable rule id used in reports and pragmas (kebab-case).
+    id: str = ""
+    #: Default severity of this rule's findings.
+    severity: Severity = Severity.ERROR
+    #: One-line description shown by ``repro lint --list-rules``.
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether the rule should run on this file at all."""
+        return True
+
+    def finding(
+        self, ctx: FileContext, line: int, col: int, message: str
+    ) -> Finding:
+        """Construct a finding for this rule at a source location."""
+        return Finding(
+            path=ctx.display_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class FileRule(Rule):
+    """A rule checked one file at a time."""
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule needing a view of the whole linted file set."""
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, id-sorted."""
+    # Importing the rules package populates the registry on first use.
+    import repro.lint.rules  # noqa: F401  (side-effect import)
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    """Ids of all registered rules."""
+    import repro.lint.rules  # noqa: F401  (side-effect import)
+
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "FileRule",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "register",
+    "rule_ids",
+]

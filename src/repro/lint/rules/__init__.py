@@ -1,0 +1,24 @@
+"""Project-specific lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry`:
+
+* ``unit-suffix`` (R1) — physical-quantity names carry unit tokens.
+* ``float-eq`` (R2) — no exact ``==``/``!=`` on physical quantities.
+* ``seeded-rng`` (R3) — no unseeded global randomness outside tests.
+* ``mutable-default`` (R4) — no mutable default arguments.
+* ``import-layer`` (R5) — the package layering contract.
+* ``api-drift`` (R6) — ``docs/API.md`` matches the public API.
+"""
+
+from repro.lint.rules import api_drift, defaults, floateq, layering
+from repro.lint.rules import randomness, units
+
+__all__ = [
+    "api_drift",
+    "defaults",
+    "floateq",
+    "layering",
+    "randomness",
+    "units",
+]

@@ -1,0 +1,89 @@
+"""Rule R6 ``api-drift`` — ``docs/API.md`` matches the public API.
+
+The generated API reference is the contract reviewers read; when
+``__all__`` exports, signatures or docstrings change without
+regenerating it, downstream users work from stale documentation. The
+rule reuses the traversal in ``tools/gen_api_docs.py`` (its
+``drift()`` helper — the same code the ``--check`` CLI mode and CI
+run) rather than duplicating the walk, so "what counts as public" has
+exactly one definition.
+
+The rule only fires when the linted tree sits inside a repository
+checkout (it walks up from the linted files looking for
+``tools/gen_api_docs.py``); linting a loose fixture directory skips
+it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+
+def _find_repo_root(contexts: Sequence[FileContext]) -> Optional[Path]:
+    for ctx in contexts:
+        for parent in [ctx.path, *ctx.path.parents]:
+            if (parent / "tools" / "gen_api_docs.py").is_file():
+                return parent
+    return None
+
+
+def _load_drift(root: Path):
+    """The ``drift`` function of ``tools/gen_api_docs.py``."""
+    script = root / "tools" / "gen_api_docs.py"
+    spec = importlib.util.spec_from_file_location("_gen_api_docs", script)
+    if spec is None or spec.loader is None:  # pragma: no cover - defensive
+        return None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, "drift", None)
+
+
+@register
+class ApiDriftRule(ProjectRule):
+    """R6: the generated API reference must be regenerated with code."""
+
+    id = "api-drift"
+    description = (
+        "docs/API.md must match the public API "
+        "(tools/gen_api_docs.py --check)"
+    )
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        root = _find_repo_root(contexts)
+        if root is None:
+            return
+        try:
+            drift = _load_drift(root)
+        except Exception as exc:
+            yield Finding(
+                path=str(root / "tools" / "gen_api_docs.py"),
+                line=1,
+                col=0,
+                rule=self.id,
+                severity=self.severity,
+                message=f"cannot run the API-drift check: {exc}",
+            )
+            return
+        if drift is None:
+            return
+        problem = drift(root / "docs" / "API.md")
+        if problem is not None:
+            yield Finding(
+                path=str(root / "docs" / "API.md"),
+                line=1,
+                col=0,
+                rule=self.id,
+                severity=self.severity,
+                message=problem,
+            )
+
+
+__all__ = ["ApiDriftRule"]

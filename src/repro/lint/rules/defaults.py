@@ -1,0 +1,76 @@
+"""Rule R4 ``mutable-default`` — no mutable default arguments.
+
+A ``def f(x, acc=[])`` default is evaluated once at definition time
+and shared across calls; in a scheduler that reuses planner objects
+across requests this turns into cross-request state leakage. The rule
+flags list/dict/set literals, comprehensions and bare
+``list()``/``dict()``/``set()``/``bytearray()`` calls used as defaults
+(use ``None`` and materialise inside the body instead).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import FileRule, register
+from repro.lint.visitor import RuleVisitor
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_FACTORIES
+    )
+
+
+class _Visitor(RuleVisitor):
+    def _check_args(self, args: ast.arguments) -> None:
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and _is_mutable_default(default):
+                self.report(
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and build the container in the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node.args)
+        self.generic_visit(node)
+
+
+@register
+class MutableDefaultRule(FileRule):
+    """R4: list/dict/set defaults are evaluated once and shared."""
+
+    id = "mutable-default"
+    description = "no mutable default arguments"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(_Visitor(self, ctx).run())
+
+
+__all__ = ["MutableDefaultRule"]

@@ -1,0 +1,93 @@
+"""Rule R2 ``float-eq`` — no exact equality on physical quantities.
+
+Energy and time values accumulate rounding error through travel-leg
+sums and repeated recharge/deplete cycles, so ``x == 0.0`` silently
+flips from true to false across refactors. The rule flags ``==`` /
+``!=`` comparisons where either operand is a float literal or an
+identifier that carries a unit token (``level_j``, ``finish_s``, ...),
+and points at the explicit tolerance helpers in :mod:`repro.units`
+(:func:`~repro.units.approx_eq`, :func:`~repro.units.approx_zero`).
+
+Integer comparisons (``count == 0``) are untouched: exactness is the
+point there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import FileRule, register
+from repro.lint.visitor import RuleVisitor
+from repro.units import UNIT_TOKENS
+
+_ALL_TOKENS = frozenset().union(*UNIT_TOKENS.values())
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_unit_name(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    components = name.lower().split("_")
+    # A bare single-component name ("j", "m", "s") is a loop variable,
+    # not a quantity; only compound names carry unit suffixes.
+    if len(components) < 2:
+        return False
+    return bool(set(components) & _ALL_TOKENS)
+
+
+def _is_physical(node: ast.expr) -> bool:
+    return _is_float_literal(node) or _is_unit_name(node)
+
+
+class _Visitor(RuleVisitor):
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_physical(left) or _is_physical(right):
+                eq = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"exact {eq} on a float quantity; use "
+                    f"repro.units.approx_eq/approx_zero so the "
+                    f"tolerance is explicit",
+                )
+                break
+        self.generic_visit(node)
+
+
+@register
+class FloatEqRule(FileRule):
+    """R2: exact ==/!= on float quantities is forbidden."""
+
+    id = "float-eq"
+    description = (
+        "no exact ==/!= on float quantities; use repro.units "
+        "tolerance helpers"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(_Visitor(self, ctx).run())
+
+
+__all__ = ["FloatEqRule"]

@@ -1,0 +1,166 @@
+"""Rule R5 ``import-layer`` — the package layering contract.
+
+The architecture is a strict DAG of layers; an import may only point
+*down* the stack (or stay inside its own package)::
+
+    layer 0   geometry, units
+    layer 1   energy, lint
+    layer 2   network
+    layer 3   graphs, tours
+    layer 4   core
+    layer 5   baselines
+    layer 6   sim, io
+    layer 7   bench, viz
+    layer 8   cli
+
+(This refines ISSUE/DESIGN's ``geometry → graphs/energy → core/tours →
+baselines/sim → bench/cli/viz`` sketch with the two substrate layers —
+``network`` sits between ``energy`` and ``graphs`` because charging
+graphs are built over topologies, which are built over radios.)
+
+Same-layer packages may not import each other: ``graphs`` and
+``tours`` are independent by design, as are ``sim`` and ``io``.
+Violations are architecture errors — they are what makes hot-path
+packages importable (and compilable/vectorisable) without dragging in
+the simulator or CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import FileRule, register
+
+#: Package (or top-level module) -> layer rank. Lower is more basic.
+LAYERS: Dict[str, int] = {
+    "geometry": 0,
+    "units": 0,
+    "energy": 1,
+    "lint": 1,
+    "network": 2,
+    "graphs": 3,
+    "tours": 3,
+    "core": 4,
+    "baselines": 5,
+    "io": 6,
+    "sim": 6,
+    "bench": 7,
+    "viz": 7,
+    "cli": 8,
+}
+
+#: Modules of the root package exempt from the contract: the package
+#: facade and the entry point legitimately reach across all layers.
+_EXEMPT_SOURCES = frozenset({"", "__init__", "__main__"})
+
+
+def _package_key(module_name: str) -> str:
+    """``repro.energy.battery`` -> ``energy``; ``repro`` -> ``""``."""
+    parts = module_name.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _resolve_relative(ctx_module: str, level: int,
+                      module: Optional[str]) -> Optional[str]:
+    """Absolute dotted target of a relative import, or ``None``.
+
+    ``ctx_module`` keeps its ``__init__`` component, so one level
+    always strips exactly the module part: ``from . import x`` in
+    ``repro.energy.battery`` and in ``repro.energy.__init__`` both
+    resolve against ``repro.energy``.
+    """
+    parts = ctx_module.split(".")
+    if level >= len(parts):
+        return None
+    prefix = ".".join(parts[:-level])
+    if module:
+        return f"{prefix}.{module}" if prefix else module
+    return prefix or None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: "ImportLayerRule", ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self.source_key = _package_key(ctx.module_name or "")
+
+    def _check_target(self, node: ast.AST, target: str) -> None:
+        if target != "repro" and not target.startswith("repro."):
+            return
+        target_key = _package_key(target)
+        if target_key == self.source_key:
+            return
+        line = getattr(node, "lineno", 0)
+        if self.ctx.pragmas.suppressed(self.rule.id, line):
+            return
+        src_rank = LAYERS.get(self.source_key)
+        if src_rank is None:
+            self.findings.append(self.rule.finding(
+                self.ctx, line, getattr(node, "col_offset", 0),
+                f"package {self.source_key!r} is not in the layer map "
+                f"(repro.lint.rules.layering.LAYERS); add it at the "
+                f"right rank",
+            ))
+            return
+        dst_rank = LAYERS.get(target_key)
+        if dst_rank is None:
+            self.findings.append(self.rule.finding(
+                self.ctx, line, getattr(node, "col_offset", 0),
+                f"import of {target!r}: package {target_key or 'repro'!r} "
+                f"is not in the layer map (repro.lint.rules.layering."
+                f"LAYERS); add it at the right rank",
+            ))
+            return
+        if dst_rank >= src_rank:
+            self.findings.append(self.rule.finding(
+                self.ctx, line, getattr(node, "col_offset", 0),
+                f"layer violation: {self.source_key!r} (layer "
+                f"{src_rank}) may not import {target_key!r} (layer "
+                f"{dst_rank}); imports must point strictly down the "
+                f"stack",
+            ))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_target(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            target = _resolve_relative(
+                self.ctx.module_name or "", node.level, node.module
+            )
+            if target is not None:
+                self._check_target(node, target)
+            return
+        if node.module is not None:
+            self._check_target(node, node.module)
+
+
+@register
+class ImportLayerRule(FileRule):
+    """R5: imports must point strictly down the layer stack."""
+
+    id = "import-layer"
+    description = (
+        "enforce the package layering contract "
+        "(geometry/units -> ... -> cli)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module_name is None:
+            return False
+        if not ctx.module_name.startswith("repro"):
+            return False
+        return _package_key(ctx.module_name) not in _EXEMPT_SOURCES
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return iter(visitor.findings)
+
+
+__all__ = ["ImportLayerRule", "LAYERS"]

@@ -1,0 +1,152 @@
+"""Rule R3 ``seeded-rng`` — no unseeded randomness outside tests.
+
+Every experiment in the paper reproduction must be deterministic given
+its seed: figures, benchmark campaigns and regression baselines all
+depend on it. Global-state RNGs (`random.random()`, ``np.random.rand``
+and friends) and ``np.random.default_rng()`` *without* a seed make a
+run unrepeatable, so production code must thread an explicit seed or a
+``numpy.random.Generator``.
+
+Allowed: ``np.random.default_rng(seed)``, ``random.Random(seed)``,
+constructing ``Generator``/``SeedSequence``/``PCG64`` objects, and
+anything at all under ``tests/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import FileRule, register
+from repro.lint.visitor import RuleVisitor
+
+#: numpy.random attributes that are fine to touch: seeded construction.
+_NUMPY_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "BitGenerator"}
+)
+
+
+class _Visitor(RuleVisitor):
+    def __init__(self, rule, ctx):
+        super().__init__(rule, ctx)
+        #: Local aliases of the stdlib ``random`` module.
+        self.random_aliases: Set[str] = set()
+        #: Local aliases of the ``numpy`` module.
+        self.numpy_aliases: Set[str] = set()
+        #: Local aliases of the ``numpy.random`` submodule.
+        self.numpy_random_aliases: Set[str] = set()
+        #: Names imported *from* the stdlib ``random`` module.
+        self.from_random: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name in ("numpy", "np"):
+                self.numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.numpy_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    self.from_random.add(alias.asname or alias.name)
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def _numpy_random_attr(self, func: ast.expr) -> str:
+        """The ``X`` of ``np.random.X`` / ``npr.X``, or ``""``."""
+        if not isinstance(func, ast.Attribute):
+            return ""
+        value = func.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy_aliases
+        ):
+            return func.attr
+        if (
+            isinstance(value, ast.Name)
+            and value.id in self.numpy_random_aliases
+        ):
+            return func.attr
+        return ""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # numpy: np.random.<attr>(...)
+        attr = self._numpy_random_attr(func)
+        if attr:
+            if attr not in _NUMPY_ALLOWED:
+                self.report(
+                    node,
+                    f"np.random.{attr}() uses numpy's global RNG state; "
+                    f"thread a seeded np.random.default_rng(seed) "
+                    f"Generator instead",
+                )
+            elif attr == "default_rng" and not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "np.random.default_rng() without a seed is "
+                    "unrepeatable; pass an explicit seed",
+                )
+        # stdlib: random.<attr>(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.random_aliases
+        ):
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    self.report(
+                        node,
+                        "random.Random() without a seed is unrepeatable; "
+                        "pass an explicit seed",
+                    )
+            else:
+                self.report(
+                    node,
+                    f"random.{func.attr}() uses the global RNG state; "
+                    f"use a seeded random.Random(seed) or numpy "
+                    f"Generator instead",
+                )
+        # stdlib: from random import uniform; uniform(...)
+        if isinstance(func, ast.Name) and func.id in self.from_random:
+            self.report(
+                node,
+                f"{func.id}() (imported from random) uses the global "
+                f"RNG state; use a seeded random.Random(seed) instead",
+            )
+        self.generic_visit(node)
+
+
+@register
+class SeededRngRule(FileRule):
+    """R3: production randomness must be explicitly seeded."""
+
+    id = "seeded-rng"
+    description = (
+        "no global-state or unseeded RNG outside tests/ "
+        "(deterministic experiments)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.in_tests
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(_Visitor(self, ctx).run())
+
+
+__all__ = ["SeededRngRule"]

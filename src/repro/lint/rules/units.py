@@ -1,0 +1,122 @@
+"""Rule R1 ``unit-suffix`` — unit discipline on physical quantities.
+
+Energy, power, time, distance, speed and data-rate all share the type
+``float``; the repository keeps them apart by naming: a declared float
+whose name says it is a physical quantity (``...capacity...``,
+``...delay...``, ``...radius...``) must carry a unit token as one of
+its ``_``-separated components (``capacity_j``, ``longest_delay_s``,
+``charge_radius_m``). The canonical keyword and token tables live in
+:mod:`repro.units` so code, docs and linter cannot drift apart.
+
+The rule checks *declarations* — function parameters annotated
+``float`` and ``float``-annotated attribute assignments — rather than
+every expression, which keeps it precise enough to run as an error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import FileRule, register
+from repro.lint.visitor import RuleVisitor
+from repro.units import QUANTITY_KEYWORDS, UNIT_TOKENS
+
+
+def _is_float_annotation(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id == "float"
+    if isinstance(node, ast.Constant):  # string annotation
+        return node.value == "float"
+    return False
+
+
+def quantity_dimensions(name: str) -> List[str]:
+    """Dimensions a name claims to denote, per the keyword table."""
+    lowered = name.lower()
+    return [
+        dim
+        for dim, keywords in sorted(QUANTITY_KEYWORDS.items())
+        if any(k in lowered for k in keywords)
+    ]
+
+
+_ALL_TOKENS = frozenset().union(*UNIT_TOKENS.values())
+
+
+def has_unit_token(name: str, dims: List[str]) -> bool:
+    """Whether any name component is a unit token.
+
+    Any dimension's token counts, not only the claimed dimension's:
+    legitimate cross-dimension names exist (``one_to_one_capacity_w``
+    is a *service capacity* measured in watts) and the linter cannot do
+    dimensional analysis — it only enforces that a unit is stated.
+    """
+    components = set(name.lower().split("_"))
+    return bool(components & _ALL_TOKENS)
+
+
+def check_name(name: str) -> Optional[Tuple[List[str], str]]:
+    """``(claimed_dims, expected_tokens)`` when the name violates R1."""
+    dims = quantity_dimensions(name)
+    if not dims or has_unit_token(name, dims):
+        return None
+    expected = ", ".join(
+        sorted(tok for dim in dims for tok in UNIT_TOKENS[dim])
+    )
+    return dims, expected
+
+
+class _Visitor(RuleVisitor):
+    def _check(self, node: ast.AST, name: str, what: str) -> None:
+        violation = check_name(name)
+        if violation is None:
+            return
+        dims, expected = violation
+        self.report(
+            node,
+            f"{what} {name!r} looks like a {'/'.join(dims)} quantity "
+            f"but carries no unit token (expected a component like: "
+            f"{expected})",
+        )
+
+    def _check_args(self, args: ast.arguments) -> None:
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _is_float_annotation(arg.annotation):
+                self._check(arg, arg.arg, "parameter")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node.args)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and _is_float_annotation(
+            node.annotation
+        ):
+            self._check(node, node.target.id, "attribute")
+        self.generic_visit(node)
+
+
+@register
+class UnitSuffixRule(FileRule):
+    """R1: declared float quantities must carry a unit token."""
+
+    id = "unit-suffix"
+    description = (
+        "float parameters/attributes denoting physical quantities "
+        "must carry a unit token (_j/_w/_s/_m/...)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(_Visitor(self, ctx).run())
+
+
+__all__ = ["UnitSuffixRule", "check_name", "quantity_dimensions"]

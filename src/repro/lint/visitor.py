@@ -1,0 +1,54 @@
+"""AST visitor base for per-file lint rules.
+
+:class:`RuleVisitor` walks a file's AST and collects findings through
+:meth:`report`, which applies the file's suppression pragmas so
+individual rules never have to think about them. An AST-based
+:class:`~repro.lint.registry.FileRule` typically pairs with one
+visitor subclass::
+
+    class _Visitor(RuleVisitor):
+        def visit_Compare(self, node):
+            if looks_bad(node):
+                self.report(node, "explain the defect")
+            self.generic_visit(node)
+
+    @register
+    class MyRule(FileRule):
+        id = "my-rule"
+        def check_file(self, ctx):
+            return _Visitor(self, ctx).run()
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """An :class:`ast.NodeVisitor` that accumulates findings."""
+
+    def __init__(self, rule: Rule, ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding at ``node`` unless a pragma silences it."""
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        if self.ctx.pragmas.suppressed(self.rule.id, line):
+            return
+        self.findings.append(self.rule.finding(self.ctx, line, col, message))
+
+    def run(self) -> List[Finding]:
+        """Visit the whole file and return the findings."""
+        self.visit(self.ctx.tree)
+        return self.findings
+
+
+__all__ = ["RuleVisitor"]

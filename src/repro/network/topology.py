@@ -11,7 +11,7 @@ center, 10.8 kJ batteries, and sensing rates uniform in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional
 
 import networkx as nx
 import numpy as np

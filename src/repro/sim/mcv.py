@@ -10,7 +10,7 @@ t = 1 h?" or export traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Union
 
 from repro.baselines.common import BaselineSchedule
 from repro.core.schedule import ChargingSchedule

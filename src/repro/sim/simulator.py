@@ -34,7 +34,7 @@ the monitoring horizon.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.energy.battery import DEFAULT_REQUEST_THRESHOLD
 from repro.energy.charging import ChargerSpec

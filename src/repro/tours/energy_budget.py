@@ -104,7 +104,7 @@ def tour_energy(
 
 def _greedy_split_dual(
     order: Sequence[Hashable],
-    delay_bound: float,
+    delay_bound_s: float,
     positions: Mapping[Hashable, PointLike],
     depot: PointLike,
     speed_mps: float,
@@ -127,7 +127,7 @@ def _greedy_split_dual(
         energy = model.travel_energy(travel_m) + model.charging_energy(
             charge_s
         )
-        return cost <= delay_bound and energy <= model.battery_j
+        return cost <= delay_bound_s and energy <= model.battery_j
 
     for node in order:
         leg_from = depot if last is None else positions[last]

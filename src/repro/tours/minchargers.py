@@ -33,12 +33,12 @@ class MinChargersResult:
     Attributes:
         num_chargers: the smallest fleet size found to satisfy the
             budget (``None`` when even ``max_chargers`` fails).
-        achieved_delay: the longest tour delay at that fleet size.
+        achieved_delay_s: the longest tour delay at that fleet size.
         tours: the witness tours.
     """
 
     num_chargers: Optional[int]
-    achieved_delay: float
+    achieved_delay_s: float
     tours: List[List[Hashable]]
 
     @property
@@ -83,7 +83,7 @@ def minimum_chargers_for_bound(
     node_list = list(nodes)
     if not node_list:
         return MinChargersResult(
-            num_chargers=0, achieved_delay=0.0, tours=[]
+            num_chargers=0, achieved_delay_s=0.0, tours=[]
         )
 
     # Quick infeasibility test: a single node whose round trip plus
@@ -94,7 +94,7 @@ def minimum_chargers_for_bound(
     )
     if worst_single > delay_bound_s:
         return MinChargersResult(
-            num_chargers=None, achieved_delay=worst_single, tours=[]
+            num_chargers=None, achieved_delay_s=worst_single, tours=[]
         )
 
     def attempt(k: int):
@@ -113,7 +113,7 @@ def minimum_chargers_for_bound(
         best = (hi, tours, delay)
     if delay > delay_bound_s:
         return MinChargersResult(
-            num_chargers=None, achieved_delay=delay, tours=tours
+            num_chargers=None, achieved_delay_s=delay, tours=tours
         )
 
     lo = hi // 2 if hi > 1 else 1
@@ -130,5 +130,5 @@ def minimum_chargers_for_bound(
     if k != hi:
         tours, delay = attempt(hi)
     return MinChargersResult(
-        num_chargers=hi, achieved_delay=delay, tours=tours
+        num_chargers=hi, achieved_delay_s=delay, tours=tours
     )

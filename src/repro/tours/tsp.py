@@ -19,13 +19,12 @@ after the depot.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, Hashable, List, Mapping, Sequence
 
 import networkx as nx
 
 from repro.geometry.distance import euclidean
-from repro.geometry.point import Point, PointLike
+from repro.geometry.point import PointLike
 
 #: Sentinel id for the depot inside TSP constructions. Sensor ids are
 #: non-negative integers, so the sentinel can never collide.

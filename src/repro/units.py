@@ -1,0 +1,109 @@
+"""Unit conventions and tolerance helpers for physical quantities.
+
+The paper mixes four physical dimensions — energy (J), power (W), time
+(s) and distance (m) — and the type system cannot tell them apart: they
+are all ``float``. The repository therefore enforces a *naming*
+discipline instead, checked statically by :mod:`repro.lint` (rule
+``unit-suffix``):
+
+* a name that denotes a physical quantity carries a unit token as one
+  of its ``_``-separated components — ``capacity_j``, ``power_draw_w``,
+  ``duration_s``, ``charge_radius_m``, ``travel_speed_mps``,
+  ``b_max_bps``, ``e_elec_j_per_bit``;
+* exact ``==`` / ``!=`` on such quantities is forbidden (rule
+  ``float-eq``); use :func:`approx_eq` / :func:`approx_zero` so every
+  tolerance is explicit and greppable.
+
+This module is the canonical registry of those conventions (the linter
+imports :data:`QUANTITY_KEYWORDS` and :data:`UNIT_TOKENS` rather than
+hard-coding its own copy) plus the tolerance helpers the rest of the
+code uses in place of exact float comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet
+
+#: Default absolute tolerance for "is this quantity zero?" tests.
+#: Chosen far below any physically meaningful value in the paper's
+#: regime (joules, watts, seconds, metres are all >= 1e-6 in practice)
+#: and far above accumulated float rounding error.
+ZERO_EPS = 1e-12
+
+#: Default relative tolerance for comparing two nonzero quantities.
+REL_EPS = 1e-9
+
+#: Unit tokens accepted as a name component, per physical dimension.
+#: A compound name satisfies the discipline when any of its
+#: ``_``-separated components is a token of the right dimension
+#: (``e_amp_j_per_bit_m`` carries both an energy and a distance token).
+UNIT_TOKENS: Dict[str, FrozenSet[str]] = {
+    "energy": frozenset({"j", "kj", "mj", "wh"}),
+    "power": frozenset({"w", "mw", "kw"}),
+    "time": frozenset({"s", "ms", "h", "days"}),
+    "distance": frozenset({"m", "km", "mm", "px"}),
+    "speed": frozenset({"mps", "kmh"}),
+    "rate": frozenset({"bps", "kbps"}),
+}
+
+#: Name fragments that mark an identifier as denoting a quantity of the
+#: given dimension. The linter requires such identifiers (when declared
+#: as ``float`` parameters or attributes) to carry a matching unit
+#: token from :data:`UNIT_TOKENS`.
+QUANTITY_KEYWORDS: Dict[str, FrozenSet[str]] = {
+    "energy": frozenset({"energy", "joule", "residual", "capacity",
+                         "deficit"}),
+    "power": frozenset({"power", "watt", "wattage"}),
+    "time": frozenset({"duration", "delay", "lifetime", "deadline",
+                       "sojourn_time", "travel_time", "wait_time",
+                       "charge_time"}),
+    "distance": frozenset({"distance", "radius"}),
+    "speed": frozenset({"speed", "velocity"}),
+    "rate": frozenset({"bitrate", "data_rate"}),
+}
+
+
+def approx_eq(a: float, b: float, rel_eps: float = REL_EPS,
+              abs_eps: float = ZERO_EPS) -> bool:
+    """Tolerant equality for two physical quantities.
+
+    ``True`` when ``a`` and ``b`` agree to within ``rel_eps``
+    relatively or ``abs_eps`` absolutely (whichever is looser), the
+    standard combined test of :func:`math.isclose`.
+    """
+    return math.isclose(a, b, rel_tol=rel_eps, abs_tol=abs_eps)
+
+
+def approx_zero(x: float, abs_eps: float = ZERO_EPS) -> bool:
+    """Whether a physical quantity is zero to within ``abs_eps``.
+
+    The canonical replacement for ``x == 0.0`` sentinels on energy,
+    power, time and distance values: a draw of ``1e-15`` W *is* "no
+    draw" for every purpose in this codebase.
+    """
+    return abs(x) <= abs_eps
+
+
+def approx_le(a: float, b: float, rel_eps: float = REL_EPS,
+              abs_eps: float = ZERO_EPS) -> bool:
+    """``a <= b`` up to tolerance (``a`` may exceed ``b`` by rounding)."""
+    return a <= b or approx_eq(a, b, rel_eps=rel_eps, abs_eps=abs_eps)
+
+
+def approx_ge(a: float, b: float, rel_eps: float = REL_EPS,
+              abs_eps: float = ZERO_EPS) -> bool:
+    """``a >= b`` up to tolerance (``a`` may undershoot by rounding)."""
+    return a >= b or approx_eq(a, b, rel_eps=rel_eps, abs_eps=abs_eps)
+
+
+__all__ = [
+    "QUANTITY_KEYWORDS",
+    "REL_EPS",
+    "UNIT_TOKENS",
+    "ZERO_EPS",
+    "approx_eq",
+    "approx_ge",
+    "approx_le",
+    "approx_zero",
+]

@@ -8,7 +8,7 @@ No third-party dependencies; output is a plain XML string.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 from xml.sax.saxutils import escape
 
 Color = str

@@ -1,6 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -143,3 +144,57 @@ class TestCommands:
         code = main(["schedule", str(tmp_path / "missing.json")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == ["src/repro"]
+        assert args.format == "text"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("unit-suffix", "float-eq", "seeded-rng",
+                     "mutable-default", "import-layer", "api-drift"):
+            assert rule in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(capacity_j: float) -> float:\n"
+                          "    return capacity_j\n")
+        assert main(["lint", str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero_text(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(x, acc=[]):\n    return x == 0.0\n")
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "[mutable-default]" in out
+        assert "[float-eq]" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(x):\n    return x == 0.0\n")
+        assert main(["lint", str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "float-eq"
+        assert payload[0]["path"].endswith("dirty.py")
+
+    def test_select_runs_only_named_rules(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(x, acc=[]):\n    return x == 0.0\n")
+        assert main(
+            ["lint", str(target), "--select", "float-eq",
+             "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {item["rule"] for item in payload} == {"float-eq"}
+
+    def test_repo_sources_are_clean(self, capsys):
+        import repro
+
+        src = Path(repro.__file__).resolve().parent
+        assert main(["lint", str(src)]) == 0

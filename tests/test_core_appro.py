@@ -117,7 +117,7 @@ class TestApproArtifacts:
         sched, art = appro_schedule_with_artifacts(
             medium_depleted_net, requests, 2
         )
-        assert art.initial_longest_delay <= sched.longest_delay() + 1e-6
+        assert art.initial_longest_delay_s <= sched.longest_delay() + 1e-6
 
 
 class TestApproQuality:

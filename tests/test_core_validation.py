@@ -114,3 +114,150 @@ class TestResolveConflicts:
         resolve_conflicts(sched)
         assert sched.longest_delay() >= before
         assert sched.covered_sensors() == {1, 2, 9}
+
+
+class TestOverlapEpsBoundary:
+    """Interval overlaps around the ``_OVERLAP_EPS`` touching rule."""
+
+    def _two_stop_sched(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        return sched
+
+    def test_overlap_below_eps_is_touching(self):
+        from repro.core.validation import _OVERLAP_EPS
+
+        sched = self._two_stop_sched()
+        # Delay stop 2 so its charging starts eps/2 before stop 1
+        # finishes: the remaining overlap is below the threshold and
+        # must be treated as touching, not conflicting.
+        target_start = sched.finish[1] - _OVERLAP_EPS / 2
+        sched.add_wait(2, target_start - sched.arrival[2])
+        assert conflicting_pairs(sched) == []
+
+    def test_overlap_above_eps_is_a_conflict(self):
+        from repro.core.validation import _OVERLAP_EPS
+
+        sched = self._two_stop_sched()
+        target_start = sched.finish[1] - 1000 * _OVERLAP_EPS
+        sched.add_wait(2, target_start - sched.arrival[2])
+        pairs = conflicting_pairs(sched)
+        assert len(pairs) == 1
+        assert pairs[0][2] == pytest.approx(1000 * _OVERLAP_EPS, rel=1e-3)
+
+    def test_zero_length_interval_never_conflicts(self):
+        """A fully-covered stop charges for 0 s; a point interval
+        inside another stop's interval has zero overlap length."""
+        positions = {1: Point(10, 0), 2: Point(14, 0), 9: Point(12, 0)}
+        coverage = {
+            1: frozenset({1, 9}),
+            2: frozenset({9}),  # only the already-claimed sensor
+        }
+        charge_times = {1: 500.0, 2: 500.0, 9: 500.0}
+        sched = ChargingSchedule(
+            depot=Point(0, 0),
+            positions=positions,
+            coverage=coverage,
+            charge_times=charge_times,
+            charger=ChargerSpec(),
+            num_tours=2,
+        )
+        sched.append_stop(0, 1)
+        sched.append_stop(1, 2)
+        assert sched.duration[2] == pytest.approx(0.0)
+        # Plant the zero-length interval strictly inside stop 1's.
+        start_1, finish_1 = sched.stop_interval(1)
+        midpoint = (start_1 + finish_1) / 2
+        sched.add_wait(2, midpoint - sched.arrival[2])
+        assert conflicting_pairs(sched) == []
+        assert validate_schedule(sched, required_sensors=[1, 9]) == []
+
+
+class TestSameTourRepeatedStops:
+    def test_repeat_on_same_tour_is_disjointness_violation(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        # Corrupt the tour bypassing the API: node 1 appears twice on
+        # tour 0 (the validator, not the builder, must catch this).
+        sched.tours[0].append(1)
+        violations = validate_schedule(sched, required_sensors=[])
+        kinds = [v.kind for v in violations]
+        assert "disjointness" in kinds
+        offender = next(v for v in violations if v.kind == "disjointness")
+        assert offender.nodes == (1,)
+
+    def test_append_stop_refuses_repeat(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        with pytest.raises(ValueError, match="already scheduled"):
+            sched.append_stop(0, 1)
+
+
+def three_cycle_fixture():
+    """Three stops on three tours with pairwise-intersecting disks,
+    all charging at roughly the same time: a 3-cycle of conflicts."""
+    positions = {
+        1: Point(10.0, 0.0),
+        2: Point(10.5, 0.0),
+        3: Point(10.25, 0.5),
+        7: Point(10.25, 0.0),
+        8: Point(10.4, 0.25),
+        9: Point(10.1, 0.25),
+    }
+    coverage = {
+        1: frozenset({1, 7, 9}),
+        2: frozenset({2, 7, 8}),
+        3: frozenset({3, 8, 9}),
+    }
+    charge_times = {sid: 400.0 for sid in positions}
+    sched = ChargingSchedule(
+        depot=Point(0, 0),
+        positions=positions,
+        coverage=coverage,
+        charge_times=charge_times,
+        charger=ChargerSpec(),
+        num_tours=3,
+    )
+    sched.append_stop(0, 1)
+    sched.append_stop(1, 2)
+    sched.append_stop(2, 3)
+    return sched
+
+
+class TestResolveConflictsThreeCycle:
+    def test_cycle_is_fully_conflicting_initially(self):
+        sched = three_cycle_fixture()
+        pairs = {frozenset((u, v)) for u, v, _ in conflicting_pairs(sched)}
+        assert pairs == {
+            frozenset((1, 2)),
+            frozenset((1, 3)),
+            frozenset((2, 3)),
+        }
+
+    def test_reaches_fixed_point(self):
+        sched = three_cycle_fixture()
+        waits = resolve_conflicts(sched)
+        assert waits >= 2  # at least two stops must be pushed back
+        assert conflicting_pairs(sched) == []
+        # Fixed point: a second pass is a no-op.
+        assert resolve_conflicts(sched) == 0
+
+    def test_serialized_intervals_are_pairwise_disjoint(self):
+        sched = three_cycle_fixture()
+        resolve_conflicts(sched)
+        intervals = sorted(sched.stop_interval(n) for n in (1, 2, 3))
+        for (_, f_prev), (s_next, _) in zip(intervals, intervals[1:]):
+            assert s_next >= f_prev - 1e-9
+
+    def test_coverage_preserved_by_repair(self):
+        sched = three_cycle_fixture()
+        before = sched.covered_sensors()
+        resolve_conflicts(sched)
+        assert sched.covered_sensors() == before
+        assert validate_schedule(sched, required_sensors=sorted(before)) == []
+
+    def test_round_limit_raises(self):
+        sched = three_cycle_fixture()
+        with pytest.raises(RuntimeError, match="did not converge"):
+            resolve_conflicts(sched, max_rounds=0)

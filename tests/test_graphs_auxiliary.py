@@ -25,10 +25,10 @@ def make_instance(seed, n=200, side=40.0):
         i: Point(float(x), float(y))
         for i, (x, y) in enumerate(rng.uniform(0, side, size=(n, 2)))
     }
-    graph = build_charging_graph(positions, radius=GAMMA)
+    graph = build_charging_graph(positions, radius_m=GAMMA)
     mis = maximal_independent_set(graph)
-    coverage = coverage_sets(mis, positions, radius=GAMMA)
-    aux = build_auxiliary_graph(mis, coverage, positions, radius=GAMMA)
+    coverage = coverage_sets(mis, positions, radius_m=GAMMA)
+    aux = build_auxiliary_graph(mis, coverage, positions, radius_m=GAMMA)
     return positions, mis, coverage, aux
 
 
@@ -55,19 +55,19 @@ class TestBuildAuxiliaryGraph:
         # Two candidates 4 m apart (within 2*gamma) but no sensor in
         # the lens: no H edge.
         positions = {0: Point(0, 0), 1: Point(4.0, 0)}
-        coverage = coverage_sets([0, 1], positions, radius=GAMMA)
+        coverage = coverage_sets([0, 1], positions, radius_m=GAMMA)
         aux = build_auxiliary_graph([0, 1], coverage, positions, GAMMA)
         assert not aux.has_edge(0, 1)
 
         # Add a sensor in the lens: edge appears.
         positions[2] = Point(2.0, 0)
-        coverage = coverage_sets([0, 1], positions, radius=GAMMA)
+        coverage = coverage_sets([0, 1], positions, radius_m=GAMMA)
         aux = build_auxiliary_graph([0, 1], coverage, positions, GAMMA)
         assert aux.has_edge(0, 1)
 
     def test_invalid_radius(self):
         with pytest.raises(ValueError):
-            build_auxiliary_graph([], {}, {}, radius=0.0)
+            build_auxiliary_graph([], {}, {}, radius_m=0.0)
 
 
 class TestMaxDegree:

@@ -20,46 +20,46 @@ def line_positions():
 
 class TestCoverageSets:
     def test_includes_self(self, line_positions):
-        cov = coverage_sets([2], line_positions, radius=2.7)
+        cov = coverage_sets([2], line_positions, radius_m=2.7)
         assert 2 in cov[2]
 
     def test_neighbours_within_radius(self, line_positions):
-        cov = coverage_sets([2], line_positions, radius=2.7)
+        cov = coverage_sets([2], line_positions, radius_m=2.7)
         assert cov[2] == frozenset({1, 2, 3})
 
     def test_radius_boundary_inclusive(self):
         positions = {0: Point(0, 0), 1: Point(2.7, 0)}
-        cov = coverage_sets([0], positions, radius=2.7)
+        cov = coverage_sets([0], positions, radius_m=2.7)
         assert 1 in cov[0]
 
     def test_targets_restriction(self, line_positions):
         cov = coverage_sets(
-            [2], line_positions, radius=2.7, targets=[2, 3]
+            [2], line_positions, radius_m=2.7, targets=[2, 3]
         )
         assert cov[2] == frozenset({2, 3})
 
     def test_candidate_covers_itself_even_outside_targets(
         self, line_positions
     ):
-        cov = coverage_sets([2], line_positions, radius=2.7, targets=[0])
+        cov = coverage_sets([2], line_positions, radius_m=2.7, targets=[0])
         assert 2 in cov[2]
 
     def test_invalid_radius(self, line_positions):
         with pytest.raises(ValueError):
-            coverage_sets([0], line_positions, radius=-1.0)
+            coverage_sets([0], line_positions, radius_m=-1.0)
 
 
 class TestCoverageQueries:
     def test_covered_by_union(self, line_positions):
-        cov = coverage_sets([0, 4], line_positions, radius=2.7)
+        cov = coverage_sets([0, 4], line_positions, radius_m=2.7)
         assert covered_by([0, 4], cov) == {0, 1, 3, 4}
 
     def test_covers_all(self, line_positions):
-        cov = coverage_sets([1, 3], line_positions, radius=2.7)
+        cov = coverage_sets([1, 3], line_positions, radius_m=2.7)
         assert covers_all([1, 3], cov, required=range(5))
 
     def test_uncovered(self, line_positions):
-        cov = coverage_sets([0], line_positions, radius=2.7)
+        cov = coverage_sets([0], line_positions, radius_m=2.7)
         assert uncovered([0], cov, required=range(5)) == {2, 3, 4}
 
     def test_mis_coverage_property(self):
@@ -75,7 +75,7 @@ class TestCoverageQueries:
             i: Point(float(x), float(y))
             for i, (x, y) in enumerate(rng.uniform(0, 50, size=(200, 2)))
         }
-        graph = build_charging_graph(positions, radius=2.7)
+        graph = build_charging_graph(positions, radius_m=2.7)
         mis = maximal_independent_set(graph)
-        cov = coverage_sets(mis, positions, radius=2.7)
+        cov = coverage_sets(mis, positions, radius_m=2.7)
         assert covers_all(mis, cov, required=positions)

@@ -27,7 +27,7 @@ def sample_graphs():
         i: Point(float(x), float(y))
         for i, (x, y) in enumerate(rng.uniform(0, 40, size=(120, 2)))
     }
-    yield "unit_disk", build_charging_graph(positions, radius=2.7)
+    yield "unit_disk", build_charging_graph(positions, radius_m=2.7)
 
 
 class TestMaximalIndependentSet:

@@ -11,33 +11,33 @@ from repro.graphs.unit_disk import build_charging_graph
 class TestBuildChargingGraph:
     def test_edge_rule_inclusive(self):
         positions = {0: Point(0, 0), 1: Point(0, 2.7), 2: Point(0, 5.5)}
-        graph = build_charging_graph(positions, radius=2.7)
+        graph = build_charging_graph(positions, radius_m=2.7)
         assert graph.has_edge(0, 1)  # exactly at gamma
         assert not graph.has_edge(1, 2)  # 2.8 m apart
         assert not graph.has_edge(0, 2)
 
     def test_node_subset(self):
         positions = {0: Point(0, 0), 1: Point(1, 0), 2: Point(2, 0)}
-        graph = build_charging_graph(positions, radius=2.7, nodes=[0, 2])
+        graph = build_charging_graph(positions, radius_m=2.7, nodes=[0, 2])
         assert set(graph.nodes) == {0, 2}
         assert graph.has_edge(0, 2)
 
     def test_positions_attached(self):
         positions = {0: Point(3, 4)}
-        graph = build_charging_graph(positions, radius=1.0)
+        graph = build_charging_graph(positions, radius_m=1.0)
         assert graph.nodes[0]["pos"] == Point(3, 4)
 
     def test_edge_weights_are_distances(self):
         positions = {0: Point(0, 0), 1: Point(1.5, 2.0)}
-        graph = build_charging_graph(positions, radius=2.7)
+        graph = build_charging_graph(positions, radius_m=2.7)
         assert graph[0][1]["weight"] == pytest.approx(2.5)
 
     def test_invalid_radius(self):
         with pytest.raises(ValueError):
-            build_charging_graph({0: Point(0, 0)}, radius=0.0)
+            build_charging_graph({0: Point(0, 0)}, radius_m=0.0)
 
     def test_empty(self):
-        graph = build_charging_graph({}, radius=1.0)
+        graph = build_charging_graph({}, radius_m=1.0)
         assert graph.number_of_nodes() == 0
 
     def test_matches_brute_force(self):
@@ -46,7 +46,7 @@ class TestBuildChargingGraph:
             i: Point(float(x), float(y))
             for i, (x, y) in enumerate(rng.uniform(0, 30, size=(80, 2)))
         }
-        graph = build_charging_graph(positions, radius=2.7)
+        graph = build_charging_graph(positions, radius_m=2.7)
         for i in positions:
             for j in positions:
                 if i < j:

@@ -1,0 +1,36 @@
+"""Tier-1 gate: the repository passes its own linter.
+
+This is the static-analysis counterpart of the runtime validator —
+every rule in :mod:`repro.lint.rules` holds over ``src/`` at all
+times. A failure here means a change introduced an unsuffixed
+quantity, an exact float comparison, unseeded randomness, a mutable
+default, a layering violation, or stale API docs.
+"""
+
+from pathlib import Path
+
+from repro.lint import Severity, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_linter_is_clean_on_src():
+    findings = lint_paths([str(SRC)])
+    report = "\n".join(f.format_text() for f in findings)
+    assert findings == [], f"repro lint found issues:\n{report}"
+
+
+def test_examples_have_no_error_findings():
+    examples = REPO_ROOT / "examples"
+    findings = [
+        f
+        for f in lint_paths([str(examples)])
+        if f.severity is Severity.ERROR and f.rule != "api-drift"
+    ]
+    report = "\n".join(f.format_text() for f in findings)
+    assert findings == [], f"repro lint found issues in examples:\n{report}"

@@ -62,7 +62,7 @@ class TestMinimumChargers:
             list(positions), positions, DEPOT, bound, 1.0, service
         )
         assert result.feasible
-        assert result.achieved_delay <= bound + 1e-6
+        assert result.achieved_delay_s <= bound + 1e-6
         for tour in result.tours:
             assert segment_cost(
                 tour, positions, DEPOT, 1.0, service

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.units` tolerance helpers and tables."""
+
+import pytest
+
+from repro.units import (
+    QUANTITY_KEYWORDS,
+    UNIT_TOKENS,
+    approx_eq,
+    approx_ge,
+    approx_le,
+    approx_zero,
+)
+
+
+class TestApproxZero:
+    def test_exact_zero(self):
+        assert approx_zero(0.0)
+
+    def test_below_default_eps(self):
+        assert approx_zero(1e-15)
+        assert approx_zero(-1e-15)
+
+    def test_physical_values_are_not_zero(self):
+        assert not approx_zero(1e-6)   # a microjoule is real energy
+        assert not approx_zero(-0.5)
+
+    def test_custom_eps(self):
+        assert approx_zero(0.5, abs_eps=1.0)
+        assert not approx_zero(0.5, abs_eps=0.1)
+
+
+class TestApproxEq:
+    def test_accumulated_rounding(self):
+        total = sum([0.1] * 10)
+        assert total != 1.0  # repro-lint: disable=float-eq
+        assert approx_eq(total, 1.0)
+
+    def test_distinct_quantities(self):
+        assert not approx_eq(10_800.0, 10_799.0)
+
+    def test_relative_tolerance_scales(self):
+        big = 1e12
+        assert approx_eq(big, big * (1 + 1e-10))
+        assert not approx_eq(big, big * (1 + 1e-6))
+
+    def test_symmetric(self):
+        assert approx_eq(1.0 + 1e-12, 1.0) == approx_eq(1.0, 1.0 + 1e-12)
+
+
+class TestApproxOrdering:
+    def test_le_tolerates_rounding_overshoot(self):
+        assert approx_le(1.0 + 1e-12, 1.0)
+        assert not approx_le(1.1, 1.0)
+        assert approx_le(0.9, 1.0)
+
+    def test_ge_tolerates_rounding_undershoot(self):
+        assert approx_ge(1.0 - 1e-12, 1.0)
+        assert not approx_ge(0.9, 1.0)
+        assert approx_ge(1.1, 1.0)
+
+
+class TestConventionTables:
+    def test_every_dimension_has_tokens_and_keywords(self):
+        assert set(QUANTITY_KEYWORDS) == set(UNIT_TOKENS)
+        for dim in UNIT_TOKENS:
+            assert UNIT_TOKENS[dim], dim
+            assert QUANTITY_KEYWORDS[dim], dim
+
+    def test_tokens_are_lowercase_components(self):
+        for tokens in UNIT_TOKENS.values():
+            for tok in tokens:
+                assert tok == tok.lower()
+                assert "_" not in tok
+
+    def test_canonical_paper_units_present(self):
+        assert "j" in UNIT_TOKENS["energy"]      # battery capacity C_v
+        assert "w" in UNIT_TOKENS["power"]       # charging power
+        assert "s" in UNIT_TOKENS["time"]        # delays, Eq. (4)
+        assert "m" in UNIT_TOKENS["distance"]    # charging radius γ
+        assert "mps" in UNIT_TOKENS["speed"]     # MCV travel speed
+
+
+class TestSentinelSemantics:
+    """The three satellite fix sites keep their documented behaviour."""
+
+    def test_lifetime_zero_draw_is_infinite(self):
+        from repro.energy.consumption import lifetime_seconds
+
+        assert lifetime_seconds(100.0, 0.0) == float("inf")
+        # A draw below tolerance is "no draw", not a 1e17-second life.
+        assert lifetime_seconds(100.0, 1e-14) == float("inf")
+
+    def test_battery_time_until_fraction_zero_draw(self):
+        from repro.energy.battery import Battery
+
+        b = Battery(capacity_j=100.0, level_j=50.0)
+        assert b.time_until_fraction(0.2, 0.0) == float("inf")
+        assert b.time_until_fraction(0.2, 1e-14) == float("inf")
+
+    def test_empirical_ratio_zero_bound_is_none(self):
+        from repro.core.ratio import empirical_ratio
+
+        assert empirical_ratio(10.0, 0.0) is None
+        assert empirical_ratio(10.0, 1e-14) is None
+        assert empirical_ratio(10.0, 4.0) == pytest.approx(2.5)
