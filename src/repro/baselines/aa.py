@@ -36,7 +36,7 @@ from repro.tours.tsp import nearest_neighbor_tour
 def kmeans_partition(
     coords: np.ndarray,
     num_clusters: int,
-    seed: Optional[int] = None,
+    seed: int = 0,
     max_iter: int = 100,
 ) -> np.ndarray:
     """Lloyd's K-means with K-means++ seeding.
@@ -91,7 +91,7 @@ def aa_schedule(
     request_ids: Sequence[int],
     num_chargers: int,
     charger: Optional[ChargerSpec] = None,
-    seed: Optional[int] = None,
+    seed: int = 0,
 ) -> BaselineSchedule:
     """Schedule the request set with the AA clustering heuristic.
 

@@ -8,6 +8,8 @@
   (Fig. 3(a)/(b), Fig. 4(a)/(b), Fig. 5(a)/(b)).
 * :mod:`repro.bench.reporting` — plain-text table rendering of the
   series the paper plots.
+* :mod:`repro.bench.fault_campaign` — the ``repro faults`` campaign:
+  every algorithm executed under identical seeded fault draws.
 """
 
 from repro.bench.experiments import (
@@ -15,12 +17,19 @@ from repro.bench.experiments import (
     fig4_data_rate,
     fig5_num_chargers,
 )
+from repro.bench.fault_campaign import (
+    FaultCampaignResult,
+    FaultCampaignRow,
+    run_fault_campaign,
+)
 from repro.bench.reporting import format_series_table, series_to_rows
 from repro.bench.runner import ExperimentResult, SweepPoint, run_sweep
 from repro.bench.workloads import PaperParams, make_instance
 
 __all__ = [
     "ExperimentResult",
+    "FaultCampaignResult",
+    "FaultCampaignRow",
     "PaperParams",
     "SweepPoint",
     "fig3_network_size",
@@ -28,6 +37,7 @@ __all__ = [
     "fig5_num_chargers",
     "format_series_table",
     "make_instance",
+    "run_fault_campaign",
     "run_sweep",
     "series_to_rows",
 ]

@@ -276,6 +276,37 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run the fault-injection campaign and print the comparison."""
+    from repro.bench.fault_campaign import run_fault_campaign
+    from repro.bench.workloads import fault_trials
+
+    trials = args.trials if args.trials is not None else fault_trials()
+    print(
+        f"scenario={args.scenario} n={args.num_sensors} "
+        f"K={args.num_chargers} trials={trials} seed={args.seed}\n"
+    )
+    result = run_fault_campaign(
+        scenario=args.scenario,
+        algorithms=args.algorithms,
+        num_sensors=args.num_sensors,
+        num_chargers=args.num_chargers,
+        trials=trials,
+        seed=args.seed,
+        progress=lambda line: print(f"  {line}"),
+    )
+    print()
+    print(result.format_table())
+    appro_rows = [r for r in result.rows if r.violation_trials is not None]
+    if appro_rows:
+        worst = max(r.violation_trials or 0 for r in appro_rows)
+        print(
+            f"\nrealized constraint violations across "
+            f"{trials} fault trials: {worst}"
+        )
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the project's static-analysis rules (repro.lint)."""
     from repro.lint import (

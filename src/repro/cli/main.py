@@ -12,6 +12,7 @@ import sys
 from typing import List, Optional
 
 from repro.cli import commands
+from repro.sim.faults.scenarios import scenario_names
 from repro.sim.scenario import ALGORITHMS
 
 _ALGORITHM_NAMES = sorted(ALGORITHMS)
@@ -117,6 +118,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=["fig3", "fig4", "fig5"],
     )
     rep.set_defaults(func=commands.cmd_report)
+
+    flt = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: algorithms under identical "
+        "seeded fault draws",
+    )
+    flt.add_argument(
+        "scenario", nargs="?", choices=scenario_names(),
+        default="breakdown",
+        help="named fault scenario (default: breakdown)",
+    )
+    flt.add_argument(
+        "-a", "--algorithms", nargs="+", choices=_ALGORITHM_NAMES,
+        help="algorithms to compare (default: all)",
+    )
+    flt.add_argument("-n", "--num-sensors", type=int, default=100)
+    flt.add_argument("-k", "--num-chargers", type=int, default=3)
+    flt.add_argument(
+        "--trials", type=int, default=None,
+        help="fault draws per algorithm (default: "
+        "$REPRO_BENCH_FAULT_TRIALS or 100)",
+    )
+    flt.add_argument("--seed", type=int, default=0)
+    flt.set_defaults(func=commands.cmd_faults)
 
     ins = sub.add_parser(
         "inspect",

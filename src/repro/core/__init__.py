@@ -12,6 +12,10 @@
 * :mod:`repro.core.ratio` — the approximation-ratio machinery of
   Section V (Lemma 2 bound on ``Δ_H``, Theorem 1 ratio, empirical
   lower-bound certificates).
+* :mod:`repro.core.repair` — mid-round schedule repair after a vehicle
+  breakdown: constraint-aware re-insertion of the failed tour's
+  remaining stops onto surviving tours, with bounded retry and a
+  degraded mode that defers lowest-urgency stops.
 """
 
 from repro.core.appro import ApproArtifacts, appro_schedule
@@ -20,17 +24,27 @@ from repro.core.ratio import (
     delta_h_bound,
     empirical_lower_bound,
 )
+from repro.core.repair import (
+    RepairConfig,
+    RepairOutcome,
+    repair_schedule,
+    resolve_conflicts_after,
+)
 from repro.core.schedule import ChargingSchedule, Stop
 from repro.core.validation import ScheduleViolation, validate_schedule
 
 __all__ = [
     "ApproArtifacts",
     "ChargingSchedule",
+    "RepairConfig",
+    "RepairOutcome",
     "ScheduleViolation",
     "Stop",
     "appro_schedule",
     "approximation_ratio",
     "delta_h_bound",
     "empirical_lower_bound",
+    "repair_schedule",
+    "resolve_conflicts_after",
     "validate_schedule",
 ]

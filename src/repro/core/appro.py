@@ -81,7 +81,7 @@ def appro_schedule(
     charger: Optional[ChargerSpec] = None,
     mis_strategy: str = "min_degree",
     tsp_method: str = "christofides",
-    seed: Optional[int] = None,
+    seed: int = 0,
     enforce_feasibility: bool = True,
     artifacts: Optional[ApproArtifacts] = None,
     efficiency=None,

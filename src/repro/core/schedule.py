@@ -245,6 +245,86 @@ class ChargingSchedule:
         if node not in self.positions:
             raise ValueError(f"node {node} has no position")
 
+    def remove_stop(self, node: int, release_coverage: bool = False) -> None:
+        """Remove ``node`` from its tour.
+
+        With ``release_coverage=False`` (the default) the stop keeps its
+        fixed duration ``τ'`` and its charging responsibility, so it can
+        later be re-attached with :meth:`reinsert_stop` — this is the
+        removal half of the repair engine's re-insertion move. With
+        ``release_coverage=True`` the stop's sensors lose their
+        responsible stop entirely (the repair engine's *deferral*: the
+        sensors go back to the uncovered pool and are reported, not
+        silently dropped).
+        """
+        if node not in self.tour_of:
+            raise ValueError(f"node {node} is not scheduled")
+        tour_index = self.tour_of.pop(node)
+        self.tours[tour_index].remove(node)
+        self.arrival.pop(node, None)
+        self.finish.pop(node, None)
+        self.wait.pop(node, None)
+        if release_coverage:
+            for sensor in self.charges.pop(node, frozenset()):
+                self.charged_by.pop(sensor, None)
+            self.duration.pop(node, None)
+        self.recompute_finish_times(tour_index)
+
+    def reinsert_stop(
+        self, tour_index: int, anchor: Optional[int], node: int
+    ) -> None:
+        """Re-attach a stop removed with :meth:`remove_stop` right
+        after ``anchor`` on tour ``tour_index`` (``None`` = after the
+        depot).
+
+        Unlike :meth:`insert_stop_after` the duration is *not*
+        recomputed: the stop keeps the ``τ'`` fixed at its original
+        insertion (its own sensors are still assigned to it, so a
+        recomputation against current coverage would wrongly yield 0).
+        """
+        if node in self.tour_of:
+            raise ValueError(f"node {node} is already scheduled")
+        if node not in self.duration or node not in self.charges:
+            raise ValueError(
+                f"node {node} was not removed with retained coverage; "
+                f"use insert_stop_after for brand-new stops"
+            )
+        if anchor is not None and self.tour_of.get(anchor) != tour_index:
+            raise ValueError(f"anchor {anchor} is not on tour {tour_index}")
+        tour = self.tours[tour_index]
+        idx = 0 if anchor is None else tour.index(anchor) + 1
+        tour.insert(idx, node)
+        self.tour_of[node] = tour_index
+        self.wait[node] = 0.0
+        self.recompute_finish_times(tour_index)
+
+    def copy(self) -> "ChargingSchedule":
+        """An independent copy sharing the immutable instance data.
+
+        Tours, timing and coverage-assignment state are deep enough to
+        mutate freely (the repair engine and fault replays work on
+        copies); positions, coverage sets and charge times are shared
+        (they are never mutated by schedule operations).
+        """
+        dup = ChargingSchedule(
+            depot=self.depot,
+            positions=self.positions,
+            coverage=self.coverage,
+            charge_times=self.charge_times,
+            charger=self.charger,
+            num_tours=self.num_tours,
+            pairwise_charge_time=self._pair_time,
+        )
+        dup.tours = [list(tour) for tour in self.tours]
+        dup.duration = dict(self.duration)
+        dup.finish = dict(self.finish)
+        dup.arrival = dict(self.arrival)
+        dup.wait = dict(self.wait)
+        dup.charged_by = dict(self.charged_by)
+        dup.charges = dict(self.charges)
+        dup.tour_of = dict(self.tour_of)
+        return dup
+
     def add_wait(self, node: int, extra_wait_s: float) -> None:
         """Delay charging at ``node`` by ``extra_wait_s`` more seconds
         and propagate downstream finish times."""

@@ -84,7 +84,8 @@ class Battery:
         if energy_j < 0:
             raise ValueError(f"cannot recharge a negative amount: {energy_j}")
         absorbed = min(energy_j, self.deficit_j)
-        self.level_j += absorbed
+        # level + (capacity - level) can round above capacity; clamp.
+        self.level_j = min(self.capacity_j, self.level_j + absorbed)
         return absorbed
 
     def recharge_full(self) -> float:

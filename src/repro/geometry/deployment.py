@@ -53,7 +53,7 @@ def _rng(seed: Optional[int]) -> np.random.Generator:
 
 
 def uniform_deployment(
-    num_sensors: int, field: Field = Field(), seed: Optional[int] = None
+    num_sensors: int, field: Field = Field(), seed: int = 0
 ) -> List[Point]:
     """Deploy ``num_sensors`` points i.i.d. uniformly over ``field``.
 
@@ -73,7 +73,7 @@ def clustered_deployment(
     num_clusters: int,
     field: Field = Field(),
     cluster_std: float = 5.0,
-    seed: Optional[int] = None,
+    seed: int = 0,
 ) -> List[Point]:
     """Deploy points around ``num_clusters`` random hot-spot centers.
 
@@ -102,7 +102,7 @@ def clustered_deployment(
 
 def grid_deployment(
     num_sensors: int, field: Field = Field(), jitter: float = 0.0,
-    seed: Optional[int] = None,
+    seed: int = 0,
 ) -> List[Point]:
     """Deploy points on a near-square grid covering the field.
 

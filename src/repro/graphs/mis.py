@@ -17,7 +17,7 @@ effect can be measured (see ``benchmarks/test_ablation_mis.py``):
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 import networkx as nx
 import numpy as np
@@ -28,7 +28,7 @@ _STRATEGIES = ("min_degree", "lexicographic", "random")
 def maximal_independent_set(
     graph: nx.Graph,
     strategy: str = "min_degree",
-    seed: Optional[int] = None,
+    seed: int = 0,
 ) -> List[int]:
     """Compute a maximal independent set of ``graph``.
 

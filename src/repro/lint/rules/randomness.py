@@ -7,9 +7,18 @@ and friends) and ``np.random.default_rng()`` *without* a seed make a
 run unrepeatable, so production code must thread an explicit seed or a
 ``numpy.random.Generator``.
 
+Two more shapes hide the same unrepeatability one call away:
+``np.random.default_rng(None)`` (the literal ``None`` means "entropy
+from the OS", exactly like no argument), and a *public* function whose
+``seed`` parameter defaults to ``None`` — every caller that omits the
+argument silently gets a different run each time. Both are flagged;
+public seed parameters should default to a constant (``seed: int = 0``)
+so the bare call is the reproducible one.
+
 Allowed: ``np.random.default_rng(seed)``, ``random.Random(seed)``,
-constructing ``Generator``/``SeedSequence``/``PCG64`` objects, and
-anything at all under ``tests/``.
+constructing ``Generator``/``SeedSequence``/``PCG64`` objects,
+private helpers (a leading-underscore name is not an API surface),
+and anything at all under ``tests/``.
 """
 
 from __future__ import annotations
@@ -102,6 +111,12 @@ class _Visitor(RuleVisitor):
                     "np.random.default_rng() without a seed is "
                     "unrepeatable; pass an explicit seed",
                 )
+            elif attr == "default_rng" and _first_arg_is_none(node):
+                self.report(
+                    node,
+                    "np.random.default_rng(None) seeds from OS entropy, "
+                    "exactly like no argument; pass an explicit seed",
+                )
         # stdlib: random.<attr>(...)
         if (
             isinstance(func, ast.Attribute)
@@ -130,6 +145,53 @@ class _Visitor(RuleVisitor):
                 f"RNG state; use a seeded random.Random(seed) instead",
             )
         self.generic_visit(node)
+
+    def _check_seed_default(self, node) -> None:
+        """Flag public functions whose ``seed`` defaults to ``None``."""
+        if node.name.startswith("_"):
+            self.generic_visit(node)
+            return
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        # Defaults align with the tail of the positional parameters.
+        offset = len(positional) - len(args.defaults)
+        pairs = list(zip(positional[offset:], args.defaults))
+        pairs += [
+            (arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+            if default is not None
+        ]
+        for arg, default in pairs:
+            if (
+                arg.arg == "seed"
+                and isinstance(default, ast.Constant)
+                and default.value is None
+            ):
+                self.report(
+                    arg,
+                    f"public function '{node.name}' defaults seed to "
+                    f"None, so the bare call is unrepeatable; default "
+                    f"to a constant (e.g. seed: int = 0) instead",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_seed_default(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_seed_default(node)
+
+
+def _first_arg_is_none(node: ast.Call) -> bool:
+    """Whether the call's first argument is the literal ``None``."""
+    candidate: ast.expr
+    if node.args:
+        candidate = node.args[0]
+    elif node.keywords and node.keywords[0].arg == "seed":
+        candidate = node.keywords[0].value
+    else:
+        return False
+    return isinstance(candidate, ast.Constant) and candidate.value is None
 
 
 @register

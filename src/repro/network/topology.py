@@ -150,7 +150,7 @@ class WRSN:
 def random_wrsn(
     num_sensors: int,
     field: Field = Field(),
-    seed: Optional[int] = None,
+    seed: int = 0,
     capacity_j: float = DEFAULT_CAPACITY_J,
     b_min_bps: float = DEFAULT_B_MIN_BPS,
     b_max_bps: float = DEFAULT_B_MAX_BPS,

@@ -12,13 +12,28 @@
   sensor).
 * :mod:`repro.sim.scenario` — the algorithm registry binding the five
   schedulers to one uniform interface.
+* :mod:`repro.sim.faults` — seeded fault injection (vehicle
+  breakdowns, charge droop/interruptions, travel slowdowns, sensor
+  hardware failures, depot-communication delay) and the fault-aware
+  executor driving mid-round schedule repair.
 """
 
 from repro.sim.events import Event, EventQueue
+from repro.sim.faults import (
+    FaultPlan,
+    FaultyOutcome,
+    RoundFaults,
+    draw_round_faults,
+    execute_with_faults,
+    get_scenario,
+    scenario_names,
+)
 from repro.sim.mcv import MCVTrajectory, replay_schedule
 from repro.sim.metrics import SimMetrics
 from repro.sim.online import OnlineMonitoringSimulation
 from repro.sim.robustness import (
+    fault_robustness_report,
+    minimum_pairwise_slack,
     perturbed_execution,
     robustness_report,
 )
@@ -31,15 +46,24 @@ __all__ = [
     "AlgorithmSpec",
     "Event",
     "EventQueue",
+    "FaultPlan",
+    "FaultyOutcome",
     "MCVTrajectory",
     "MonitoringSimulation",
     "OnlineMonitoringSimulation",
+    "RoundFaults",
     "SECONDS_PER_YEAR",
     "SimMetrics",
     "SimulationTrace",
     "TraceRecorder",
+    "draw_round_faults",
+    "execute_with_faults",
+    "fault_robustness_report",
     "get_algorithm",
+    "get_scenario",
+    "minimum_pairwise_slack",
     "perturbed_execution",
     "replay_schedule",
     "robustness_report",
+    "scenario_names",
 ]

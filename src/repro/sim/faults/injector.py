@@ -1,0 +1,134 @@
+"""Seeded fault injection: plan + round index -> concrete draw.
+
+One function, :func:`draw_round_faults`, owns every stochastic choice
+of the fault model. The RNG is keyed on ``(plan.seed, round_index)``
+through a :class:`numpy.random.SeedSequence`, so
+
+* the same plan always produces the same faults in the same round —
+  two algorithms simulated under the same plan face *identical*
+  failures (the campaign's paired-comparison requirement);
+* rounds are independent streams — adding a round never perturbs the
+  draws of earlier rounds (replays stay stable as horizons grow).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.faults.specs import (
+    BreakdownEvent,
+    ChargeDroop,
+    ChargeInterruption,
+    DepotCommDelay,
+    FaultPlan,
+    MCVBreakdown,
+    RoundFaults,
+    SensorFailure,
+    TravelSlowdown,
+)
+
+
+def rng_for_round(plan: FaultPlan, round_index: int) -> np.random.Generator:
+    """The deterministic per-round generator of a plan."""
+    if round_index < 0:
+        raise ValueError(
+            f"round_index must be non-negative, got {round_index}"
+        )
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=plan.seed, spawn_key=(round_index,))
+    )
+
+
+def draw_round_faults(
+    plan: FaultPlan,
+    round_index: int,
+    num_vehicles: int,
+    sensor_ids: Sequence[int] = (),
+) -> RoundFaults:
+    """Sample one round's faults from ``plan``.
+
+    Args:
+        plan: the fault scenario.
+        round_index: 0-based scheduling-round (or dispatch) index.
+        num_vehicles: ``K`` — bounds the breakdown vehicle draw.
+        sensor_ids: population the sensor-failure draw picks from
+            (sorted internally for determinism).
+
+    Returns:
+        The concrete :class:`~repro.sim.faults.specs.RoundFaults`.
+    """
+    if num_vehicles <= 0:
+        raise ValueError(
+            f"num_vehicles must be positive, got {num_vehicles}"
+        )
+    gen = rng_for_round(plan, round_index)
+    breakdown = None
+    charge_factor = 1.0
+    travel_factor = 1.0
+    interrupted_rank = None
+    interruption_pause_s = 0.0
+    comm_delay_s = 0.0
+    failed = []
+    # Every spec consumes a fixed number of draws whether or not it
+    # fires, so draws stay aligned across rounds with different
+    # outcomes (a misfire must not shift later specs' streams).
+    for spec in plan.specs:
+        fires = float(gen.uniform()) < spec.probability
+        if isinstance(spec, MCVBreakdown):
+            vehicle = int(gen.integers(num_vehicles))
+            fraction = float(gen.uniform(0.1, 0.9))
+            if fires:
+                breakdown = BreakdownEvent(
+                    vehicle=(
+                        spec.vehicle if spec.vehicle is not None else vehicle
+                    ),
+                    at_fraction=(
+                        spec.at_fraction
+                        if spec.at_fraction is not None
+                        else fraction
+                    ),
+                )
+        elif isinstance(spec, ChargeDroop):
+            factor = float(gen.uniform(spec.min_factor, spec.max_factor))
+            if fires:
+                charge_factor *= factor
+        elif isinstance(spec, ChargeInterruption):
+            rank = float(gen.uniform())
+            pause = float(gen.uniform(spec.min_pause_s, spec.max_pause_s))
+            if fires:
+                interrupted_rank = rank
+                interruption_pause_s = pause
+        elif isinstance(spec, TravelSlowdown):
+            factor = float(gen.uniform(spec.min_factor, spec.max_factor))
+            if fires:
+                travel_factor *= factor
+        elif isinstance(spec, SensorFailure):
+            pick = float(gen.uniform())
+            if fires and sensor_ids:
+                ordered = sorted(sensor_ids)
+                failed.append(ordered[int(pick * len(ordered))])
+        elif isinstance(spec, DepotCommDelay):
+            delay = float(gen.uniform(spec.min_delay_s, spec.max_delay_s))
+            if fires:
+                comm_delay_s += delay
+        else:
+            raise TypeError(f"unknown fault spec {type(spec).__name__}")
+    if breakdown is not None and breakdown.vehicle >= num_vehicles:
+        raise ValueError(
+            f"breakdown vehicle {breakdown.vehicle} out of range for "
+            f"K={num_vehicles}"
+        )
+    return RoundFaults(
+        breakdown=breakdown,
+        charge_factor=charge_factor,
+        travel_factor=travel_factor,
+        interrupted_rank=interrupted_rank,
+        interruption_pause_s=interruption_pause_s,
+        comm_delay_s=comm_delay_s,
+        failed_sensors=frozenset(failed),
+    )
+
+
+__all__ = ["draw_round_faults", "rng_for_round"]

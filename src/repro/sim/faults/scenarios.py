@@ -1,0 +1,91 @@
+"""Named, composable fault scenarios.
+
+A scenario is just a tuple of fault specs with a memorable name; the
+registry keeps the CLI, the benchmark campaign and the tests talking
+about the same failure worlds. Scenarios compose freely — a custom
+:class:`~repro.sim.faults.specs.FaultPlan` can mix any specs — but
+these cover the regimes the robustness analysis cares about:
+
+========================  =============================================
+``none``                  identity (control group)
+``breakdown``             one MCV dies mid-round, every round
+``flaky-breakdown``       breakdowns with 30 % per-round probability
+``droop``                 charge-rate droop + occasional interruptions
+``slow-roads``            travel slowdowns only
+``attrition``             occasional permanent sensor hardware failures
+``comms-lag``             breakdowns whose notification reaches the
+                          depot late (stresses the repair's frozen
+                          prefix)
+``perfect-storm``         everything at once
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.faults.specs import (
+    ChargeDroop,
+    ChargeInterruption,
+    DepotCommDelay,
+    FaultPlan,
+    FaultSpec,
+    MCVBreakdown,
+    SensorFailure,
+    TravelSlowdown,
+)
+
+#: Scenario name -> spec tuple. Order within a tuple matters only for
+#: the injector's draw alignment, not semantics.
+SCENARIOS: Dict[str, Tuple[FaultSpec, ...]] = {
+    "none": (),
+    "breakdown": (MCVBreakdown(probability=1.0),),
+    "flaky-breakdown": (MCVBreakdown(probability=0.3),),
+    "droop": (
+        ChargeDroop(probability=1.0, min_factor=1.05, max_factor=1.3),
+        ChargeInterruption(
+            probability=0.5, min_pause_s=60.0, max_pause_s=600.0
+        ),
+    ),
+    "slow-roads": (
+        TravelSlowdown(probability=1.0, min_factor=1.05, max_factor=1.5),
+    ),
+    "attrition": (SensorFailure(probability=0.1),),
+    "comms-lag": (
+        MCVBreakdown(probability=1.0),
+        DepotCommDelay(probability=1.0, min_delay_s=30.0, max_delay_s=300.0),
+    ),
+    "perfect-storm": (
+        MCVBreakdown(probability=0.5),
+        ChargeDroop(probability=0.8, min_factor=1.05, max_factor=1.2),
+        ChargeInterruption(
+            probability=0.3, min_pause_s=60.0, max_pause_s=300.0
+        ),
+        TravelSlowdown(probability=0.8, min_factor=1.05, max_factor=1.3),
+        SensorFailure(probability=0.05),
+        DepotCommDelay(probability=1.0, min_delay_s=10.0, max_delay_s=120.0),
+    ),
+}
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str, seed: int = 0) -> FaultPlan:
+    """Build the named scenario as a seeded :class:`FaultPlan`.
+
+    Raises:
+        KeyError: with the list of known names on a miss.
+    """
+    try:
+        specs = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; known: {scenario_names()}"
+        ) from None
+    return FaultPlan(specs=specs, seed=seed, name=name)
+
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]

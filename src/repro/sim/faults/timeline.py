@@ -1,0 +1,141 @@
+"""Realized-timeline primitives shared by fault and noise replays.
+
+Two pieces every replay needs:
+
+* :func:`replay_with_factors` — walk a
+  :class:`~repro.core.schedule.ChargingSchedule` with deterministic
+  multiplicative factors on travel and charging (plus an optional
+  single-stop pause), producing realized
+  :class:`ExecutedStop` intervals and the realized longest delay;
+* :func:`overlapping_cross_pairs` — the no-simultaneous-charging check
+  on a realized timeline, as a start-time sweep: stops sorted by start,
+  an active window pruned by finish, and the disk test applied only to
+  pairs that actually overlap in time. This replaces the old all-pairs
+  O(n²) scan — the sweep's cost is proportional to the number of
+  *temporally overlapping* pairs, which for a feasible-by-construction
+  schedule is near zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.schedule import ChargingSchedule
+
+#: Positive-length overlap shorter than this is treated as touching.
+OVERLAP_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ExecutedStop:
+    """One stop's realized timing under a replay."""
+
+    node: int
+    tour: int
+    start_s: float
+    finish_s: float
+
+
+def overlapping_cross_pairs(
+    stops: Sequence[ExecutedStop],
+    coverage: Mapping[int, FrozenSet[int]],
+    eps: float = OVERLAP_EPS,
+) -> List[Tuple[int, int, float]]:
+    """All cross-tour, intersecting-disk, time-overlapping stop pairs.
+
+    Start-time sweep: after sorting by start, each stop is compared
+    only against the *active* window (earlier stops whose intervals are
+    still open), so disjoint timelines cost O(n log n) instead of the
+    all-pairs O(n²).
+
+    Returns:
+        ``(u, v, overlap_seconds)`` triples, ``u`` the earlier-starting
+        stop, in sweep order (deterministic).
+    """
+    order = sorted(stops, key=lambda s: (s.start_s, s.tour, s.node))
+    active: List[ExecutedStop] = []
+    out: List[Tuple[int, int, float]] = []
+    for stop in order:
+        active = [a for a in active if a.finish_s - stop.start_s > eps]
+        for other in active:
+            if other.tour == stop.tour:
+                continue
+            if not (coverage[other.node] & coverage[stop.node]):
+                continue
+            overlap = min(other.finish_s, stop.finish_s) - max(
+                other.start_s, stop.start_s
+            )
+            if overlap > eps:
+                out.append((other.node, stop.node, overlap))
+        active.append(stop)
+    return out
+
+
+def replay_with_factors(
+    schedule: ChargingSchedule,
+    travel_factor: float = 1.0,
+    charge_factor: float = 1.0,
+    pause_rank: Optional[float] = None,
+    pause_s: float = 0.0,
+) -> Tuple[List[ExecutedStop], float]:
+    """Replay a schedule with deterministic fault factors.
+
+    Every travel leg is scaled by ``travel_factor`` and every charging
+    duration by ``charge_factor``. Scheduled waits are honoured as
+    *earliest start times* relative to the planned timeline (a real
+    controller will not switch the charger on before its scheduled
+    start). ``pause_rank`` in ``[0, 1)`` selects one stop — by rank in
+    the deterministic (tour, position) stop order — whose charge
+    additionally pauses for ``pause_s`` seconds.
+
+    Returns:
+        ``(stops, realized_longest_delay_s)`` where the delay includes
+        each tour's return leg.
+    """
+    if travel_factor <= 0.0 or charge_factor <= 0.0:
+        raise ValueError(
+            f"factors must be positive, got travel={travel_factor} "
+            f"charge={charge_factor}"
+        )
+    ordered = schedule.scheduled_stops()
+    paused_node: Optional[int] = None
+    if pause_rank is not None and ordered:
+        if not 0.0 <= pause_rank < 1.0:
+            raise ValueError(
+                f"pause_rank must be in [0, 1), got {pause_rank}"
+            )
+        paused_node = ordered[int(pause_rank * len(ordered))]
+
+    executed: List[ExecutedStop] = []
+    longest = 0.0
+    for k, tour in enumerate(schedule.tours):
+        clock = 0.0
+        prev: Optional[int] = None
+        for node in tour:
+            clock += schedule.travel_time(prev, node) * travel_factor
+            planned_start = schedule.arrival[node] + schedule.wait[node]
+            start = max(clock, planned_start)
+            duration = schedule.duration[node] * charge_factor
+            if node == paused_node:
+                duration += pause_s
+            finish = start + duration
+            executed.append(
+                ExecutedStop(
+                    node=node, tour=k, start_s=start, finish_s=finish
+                )
+            )
+            clock = finish
+            prev = node
+        if tour:
+            back = schedule.travel_time(tour[-1], None) * travel_factor
+            longest = max(longest, clock + back)
+    return executed, longest
+
+
+__all__ = [
+    "ExecutedStop",
+    "OVERLAP_EPS",
+    "overlapping_cross_pairs",
+    "replay_with_factors",
+]

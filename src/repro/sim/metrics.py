@@ -32,10 +32,33 @@ class SimMetrics:
     dead_time_s: Dict[int, float] = field(default_factory=dict)
     #: Number of sensors charged in each round.
     round_request_counts: List[int] = field(default_factory=list)
+    #: Stops reassigned to surviving vehicles, per round (fault runs).
+    round_repairs: List[int] = field(default_factory=list)
+    #: Sensors deferred by degraded-mode repair, per round (fault runs).
+    round_deferred: List[int] = field(default_factory=list)
+    #: Sensors permanently lost to hardware failure, in failure order.
+    sensors_failed: List[int] = field(default_factory=list)
+    #: Rounds in which at least one fault was injected.
+    fault_rounds: int = 0
+    #: Dead time attributable to faults: realized-vs-planned recharge
+    #: shifts of charged sensors (a lower bound — deferral knock-on
+    #: dead time lands in the ordinary accounting of later rounds).
+    fault_extra_dead_time_s: float = 0.0
 
     @property
     def num_rounds(self) -> int:
         return len(self.round_longest_delays_s)
+
+    @property
+    def total_repairs(self) -> int:
+        """Stops reassigned across all rounds."""
+        return sum(self.round_repairs)
+
+    @property
+    def total_deferred(self) -> int:
+        """Deferral events across all rounds (a sensor deferred in two
+        rounds counts twice)."""
+        return sum(self.round_deferred)
 
     @property
     def mean_longest_delay_s(self) -> float:
@@ -75,9 +98,18 @@ class SimMetrics:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (
+        base = (
             f"rounds={self.num_rounds} "
             f"mean_longest_delay={self.mean_longest_delay_hours:.2f}h "
             f"avg_dead={self.avg_dead_time_per_sensor_minutes:.1f}min "
             f"ever_dead={self.num_sensors_ever_dead}/{self.num_sensors}"
         )
+        if self.fault_rounds:
+            base += (
+                f" faults={self.fault_rounds} "
+                f"repairs={self.total_repairs} "
+                f"deferred={self.total_deferred} "
+                f"hw_failed={len(self.sensors_failed)} "
+                f"fault_dead={self.fault_extra_dead_time_s / 60.0:.1f}min"
+            )
+        return base

@@ -33,6 +33,8 @@ from repro.energy.battery import DEFAULT_REQUEST_THRESHOLD
 from repro.energy.charging import ChargerSpec
 from repro.energy.consumption import RadioModel
 from repro.network.topology import WRSN
+from repro.sim.faults.injector import draw_round_faults
+from repro.sim.faults.specs import FaultPlan, RoundFaults
 from repro.sim.metrics import SimMetrics
 from repro.sim.simulator import (
     MonitoringSimulation,
@@ -59,6 +61,9 @@ class _Dispatch:
     depart_s: float
     return_s: float
     sensor_finish_s: Dict[int, float] = field(default_factory=dict)
+    #: Sensors whose stop was cancelled by a mid-tour breakdown; they
+    #: re-enter the pending pool (the online form of schedule repair).
+    cancelled: List[int] = field(default_factory=list)
 
 
 class OnlineMonitoringSimulation(MonitoringSimulation):
@@ -81,6 +86,7 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
         horizon_s: float = 365.0 * 86400.0,
         radio: Optional[RadioModel] = None,
         max_dispatches: int = 1_000_000,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         super().__init__(
             network=network,
@@ -90,6 +96,7 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
             threshold=threshold,
             horizon_s=horizon_s,
             radio=radio,
+            fault_plan=fault_plan,
         )
         self.max_dispatches = max_dispatches
 
@@ -127,21 +134,42 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
         depart_s: float,
         batch: List[int],
         active_stops: List[_ActiveStop],
+        faults: Optional[RoundFaults] = None,
     ) -> Tuple[_Dispatch, List[_ActiveStop]]:
-        """Single-vehicle Appro over ``batch``, yielding to active stops."""
+        """Single-vehicle Appro over ``batch``, yielding to active stops.
+
+        When a fault draw is given, the tour is replayed with its
+        travel/charge factors (and the rank-selected interruption
+        pause) *before* conflict resolution, so the realized intervals
+        the yielding logic sees are the ones that will be executed —
+        feasibility under faults stays by-construction. A breakdown of
+        this vehicle truncates the tour at the failure moment; the
+        unexecuted stops' sensors are returned as ``cancelled`` and
+        re-enter the pending pool.
+        """
         schedule = appro_schedule(
             self.network, batch, num_chargers=1, charger=self.charger
         )
-        # Extract the tour's stops with absolute times, then resolve
-        # cross-vehicle conflicts by delaying (cascade within the tour).
+        travel_factor = faults.travel_factor if faults else 1.0
+        charge_factor = faults.charge_factor if faults else 1.0
+        # Build the tour's stops with absolute realized times, then
+        # resolve cross-vehicle conflicts by delaying (the cascade is
+        # implicit: each stop starts from the previous one's finish).
         tour = schedule.tours[0]
+        paused_index: Optional[int] = None
+        if faults is not None and faults.interrupted_rank is not None and tour:
+            paused_index = int(faults.interrupted_rank * len(tour))
         records: List[_ActiveStop] = []
-        shift = 0.0
         finishes: Dict[int, float] = {}
-        for node in tour:
-            start, finish = schedule.stop_interval(node)
-            start += depart_s + shift
-            finish += depart_s + shift
+        clock = depart_s
+        prev: Optional[int] = None
+        for index, node in enumerate(tour):
+            clock += schedule.travel_time(prev, node) * travel_factor
+            start = clock
+            duration = schedule.duration[node] * charge_factor
+            if index == paused_index:
+                duration += faults.interruption_pause_s
+            finish = start + duration
             covered = schedule.charges.get(node, frozenset())
             moved = True
             while moved:
@@ -155,7 +183,6 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
                         delta = active.finish_s - start + _TIME_EPS_S
                         start += delta
                         finish += delta
-                        shift += delta
                         moved = True
             records.append(
                 _ActiveStop(
@@ -163,23 +190,47 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
                     covered=covered,
                 )
             )
-            duration_start = start
             for sid in covered:
-                t_u = schedule.charge_times.get(sid, 0.0)
-                finishes[sid] = min(duration_start + t_u, finish)
+                t_u = schedule.charge_times.get(sid, 0.0) * charge_factor
+                finishes[sid] = min(start + t_u, finish)
+            clock = finish
+            prev = node
         if tour:
-            last = schedule.tours[0][-1]
             return_s = (
                 records[-1].finish_s
-                + schedule.travel_time(last, None)
+                + schedule.travel_time(tour[-1], None) * travel_factor
             )
         else:
             return_s = depart_s
+
+        cancelled: List[int] = []
+        if (
+            faults is not None
+            and faults.breakdown is not None
+            and faults.breakdown.vehicle == vehicle
+            and records
+        ):
+            failure_abs = depart_s + faults.breakdown.at_fraction * (
+                return_s - depart_s
+            )
+            kept: List[_ActiveStop] = []
+            for record, node in zip(records, tour):
+                if record.finish_s <= failure_abs:
+                    kept.append(record)
+                    continue
+                for sid in schedule.charges.get(node, frozenset()):
+                    finishes.pop(sid, None)
+                    cancelled.append(sid)
+            records = kept
+            # The vehicle is recovered at the depot; the communication
+            # delay postpones when it can be dispatched again.
+            return_s = failure_abs + faults.comm_delay_s
         dispatch = _Dispatch(
             vehicle=vehicle,
             depart_s=depart_s,
             return_s=return_s,
             sensor_finish_s=finishes,
+            cancelled=sorted(cancelled),
         )
         return dispatch, records
 
@@ -245,11 +296,31 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
                 raise RuntimeError(
                     f"exceeded max_dispatches={self.max_dispatches}"
                 )
+
+            faults: Optional[RoundFaults] = None
+            if self.fault_plan is not None:
+                faults = draw_round_faults(
+                    self.fault_plan,
+                    dispatches - 1,
+                    self.num_chargers,
+                    sensor_ids=sorted(states),
+                )
+                for sid in sorted(faults.failed_sensors):
+                    if sid in states:
+                        del states[sid]
+                        assigned.discard(sid)
+                        metrics.sensors_failed.append(sid)
+                pending = [sid for sid in pending if sid in states]
+                if not pending:
+                    metrics.fault_rounds += 1
+                    vehicle_free_at[vehicle] = t + 1.0
+                    continue
+
             batch = self._pick_batch(pending, assigned)
             residuals = {sid: states[sid].level_at(t) for sid in batch}
             self.network.set_residuals(residuals)
             dispatch, records = self._build_dispatch(
-                vehicle, t, batch, active_stops
+                vehicle, t, batch, active_stops, faults=faults
             )
             active_stops.extend(records)
             assigned.update(batch)
@@ -258,8 +329,19 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
                 dispatch.return_s - dispatch.depart_s
             )
             metrics.round_request_counts.append(len(batch))
+            if faults is not None:
+                # A cancelled sensor re-enters the pending pool at the
+                # next dispatch — re-queueing *is* the online repair.
+                metrics.round_repairs.append(len(dispatch.cancelled))
+                metrics.round_deferred.append(0)
+                if faults.any:
+                    metrics.fault_rounds += 1
 
+            cancelled = set(dispatch.cancelled)
             for sid in batch:
+                if sid in cancelled:
+                    assigned.discard(sid)
+                    continue
                 charge_at = dispatch.sensor_finish_s.get(
                     sid, dispatch.return_s
                 )

@@ -36,12 +36,16 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Union
 
+from repro.core.repair import RepairConfig
 from repro.energy.battery import DEFAULT_REQUEST_THRESHOLD
 from repro.energy.charging import ChargerSpec
 from repro.energy.consumption import RadioModel, sensor_power_draw
 from repro.energy.policies import FULL_CHARGE, ChargingPolicy
 from repro.network.routing import build_routing_tree, relay_loads_bps
 from repro.network.topology import WRSN
+from repro.sim.faults.executor import execute_with_faults
+from repro.sim.faults.injector import draw_round_faults
+from repro.sim.faults.specs import FaultPlan
 from repro.sim.metrics import SimMetrics
 from repro.sim.scenario import ALGORITHMS, AlgorithmSpec
 
@@ -122,6 +126,14 @@ class MonitoringSimulation:
             to the policy target, so every algorithm's Eq. (1) charge
             times automatically become policy charge times; the
             simulator's own depletion states keep the true capacities.
+        fault_plan: when given, each round draws faults from the plan
+            (round index = rounds started so far) and executes through
+            the fault-aware executor: breakdowns trigger mid-round
+            schedule repair, droop/slowdown stretch the realized
+            timeline, hardware-failed sensors permanently leave the
+            monitored population, and deferred sensors stay uncharged
+            until they re-request in a later round.
+        repair_config: repair tuning used on breakdowns.
     """
 
     def __init__(
@@ -135,6 +147,8 @@ class MonitoringSimulation:
         radio: Optional[RadioModel] = None,
         max_rounds: int = 100_000,
         policy: Optional["ChargingPolicy"] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        repair_config: Optional[RepairConfig] = None,
     ):
         if num_chargers <= 0:
             raise ValueError(
@@ -153,6 +167,8 @@ class MonitoringSimulation:
         self.radio = radio if radio is not None else RadioModel()
         self.max_rounds = max_rounds
         self.policy = policy if policy is not None else FULL_CHARGE
+        self.fault_plan = fault_plan
+        self.repair_config = repair_config
         #: True battery capacities (the scheduling copy may be scaled
         #: down to the policy target).
         self._true_capacity = {
@@ -244,6 +260,26 @@ class MonitoringSimulation:
                 )
             below.sort()
 
+            faults = None
+            if self.fault_plan is not None:
+                faults = draw_round_faults(
+                    self.fault_plan,
+                    rounds - 1,
+                    self.num_chargers,
+                    sensor_ids=sorted(states),
+                )
+                # Hardware failures: the sensor permanently leaves the
+                # monitored population (no further dead-time accrual).
+                for sid in sorted(faults.failed_sensors):
+                    if sid in states:
+                        del states[sid]
+                        metrics.sensors_failed.append(sid)
+                below = [sid for sid in below if sid in states]
+                if not below:
+                    metrics.fault_rounds += 1
+                    t = t + 1.0
+                    continue
+
             # Stage the scheduling instance: freeze residuals at t.
             residuals = {sid: states[sid].level_at(t) for sid in below}
             self.network.set_residuals(residuals)
@@ -262,13 +298,37 @@ class MonitoringSimulation:
                 charger=self.charger,
                 lifetimes=lifetimes,
             )
-            round_delay = result.longest_delay()
-            finishes = result.sensor_finish_times()
+            planned_delay = result.longest_delay()
+            planned_finishes = result.sensor_finish_times()
+
+            if faults is not None:
+                outcome = execute_with_faults(
+                    result, faults, repair_config=self.repair_config
+                )
+                round_delay = outcome.realized_delay_s
+                finishes = outcome.sensor_finish_s
+                charged = set(finishes)
+                metrics.round_repairs.append(outcome.repairs)
+                metrics.round_deferred.append(
+                    len(set(below) - charged)
+                )
+                if faults.any:
+                    metrics.fault_rounds += 1
+            else:
+                round_delay = planned_delay
+                finishes = planned_finishes
+                charged = None
 
             metrics.round_longest_delays_s.append(round_delay)
             metrics.round_request_counts.append(len(below))
 
             for sid in below:
+                if charged is not None and sid not in charged:
+                    # Deferred (degraded repair / stranded): stays
+                    # uncharged and below threshold, so it re-enters
+                    # the next round's request set; its dead time
+                    # accrues in that round's ordinary accounting.
+                    continue
                 charge_at = t + finishes.get(sid, round_delay)
                 state = states[sid]
                 death = state.death_time()
@@ -277,6 +337,16 @@ class MonitoringSimulation:
                     end = min(charge_at, self.horizon_s)
                     if end > start:
                         metrics.dead_time_s[sid] += end - start
+                        if faults is not None:
+                            planned_at = t + planned_finishes.get(
+                                sid, planned_delay
+                            )
+                            planned_end = min(
+                                max(start, planned_at), self.horizon_s
+                            )
+                            metrics.fault_extra_dead_time_s += max(
+                                0.0, end - planned_end
+                            )
                 state.recharge_to(
                     self.policy.target_level_j(self._true_capacity[sid]),
                     charge_at,

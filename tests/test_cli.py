@@ -146,6 +146,51 @@ class TestCommands:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFaults:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.command == "faults"
+        assert args.scenario == "breakdown"
+        assert args.num_sensors == 100
+        assert args.num_chargers == 3
+        assert args.trials is None
+        assert args.seed == 0
+        assert args.algorithms is None
+
+    def test_parser_scenario_choices(self):
+        args = build_parser().parse_args(["faults", "perfect-storm"])
+        assert args.scenario == "perfect-storm"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "not-a-scenario"])
+
+    def test_parser_algorithm_choices(self):
+        args = build_parser().parse_args(
+            ["faults", "-a", "Appro", "K-EDF"]
+        )
+        assert args.algorithms == ["Appro", "K-EDF"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "-a", "NotAnAlg"])
+
+    def test_campaign_runs(self, capsys):
+        code = main(
+            ["faults", "breakdown", "-n", "30", "-k", "2",
+             "--trials", "3", "--seed", "1", "-a", "Appro", "K-EDF"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario=breakdown" in out
+        assert "Appro" in out and "K-EDF" in out
+        assert "realized constraint violations" in out
+
+    def test_trials_env_override(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FAULT_TRIALS", "2")
+        code = main(
+            ["faults", "none", "-n", "25", "-k", "2", "-a", "Appro"]
+        )
+        assert code == 0
+        assert "trials=2" in capsys.readouterr().out
+
+
 class TestLint:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["lint"])

@@ -236,6 +236,103 @@ class TestSeededRng:
         )
         assert findings == []
 
+    def test_flags_default_rng_none_positional(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng(None)
+            """,
+            select=["seeded-rng"],
+        )
+        assert rules_of(findings) == {"seeded-rng"}
+        assert "None" in findings[0].message
+
+    def test_flags_default_rng_none_keyword(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng(seed=None)
+            """,
+            select=["seeded-rng"],
+        )
+        assert rules_of(findings) == {"seeded-rng"}
+
+    def test_flags_public_seed_none_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def deploy(count, seed=None):
+                return count, seed
+            """,
+            select=["seeded-rng"],
+        )
+        assert rules_of(findings) == {"seeded-rng"}
+        assert "deploy" in findings[0].message
+
+    def test_flags_kwonly_seed_none_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def deploy(count, *, seed=None):
+                return count, seed
+            """,
+            select=["seeded-rng"],
+        )
+        assert rules_of(findings) == {"seeded-rng"}
+
+    def test_accepts_constant_seed_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def deploy(count, seed=0):
+                return np.random.default_rng(seed).uniform(size=count)
+            """,
+            select=["seeded-rng"],
+        )
+        assert findings == []
+
+    def test_accepts_private_seed_none_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def _helper(seed=None):
+                return seed
+            """,
+            select=["seeded-rng"],
+        )
+        assert findings == []
+
+    def test_accepts_none_default_on_other_params(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def deploy(count, rng=None):
+                return count, rng
+            """,
+            select=["seeded-rng"],
+        )
+        assert findings == []
+
+    def test_seed_none_in_tests_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def deploy(count, seed=None):
+                return count, seed
+            """,
+            subdir="tests",
+            select=["seeded-rng"],
+        )
+        assert findings == []
+
 
 class TestMutableDefault:
     def test_flags_list_default(self, tmp_path):

@@ -77,3 +77,63 @@ class TestEventQueue:
         queue.schedule(1.0, "b", {"y": 2})
         assert queue.pop().kind == "a"
         assert queue.pop().kind == "b"
+
+
+class TestInterleaving:
+    """Interleaved push/pop sequences and the negative-time guard."""
+
+    def test_interleaved_push_pop_stays_ordered(self):
+        queue = EventQueue()
+        queue.schedule(4.0, "d")
+        queue.schedule(1.0, "a")
+        assert queue.pop().kind == "a"
+        queue.schedule(2.0, "b")
+        queue.schedule(3.0, "c")
+        assert [queue.pop().kind for _ in range(3)] == ["b", "c", "d"]
+
+    def test_fifo_ties_survive_interleaved_pops(self):
+        """Insertion order breaks ties even when pops happen between
+        the tied pushes."""
+        queue = EventQueue()
+        queue.schedule(5.0, "first")
+        queue.schedule(0.0, "early")
+        assert queue.pop().kind == "early"
+        queue.schedule(5.0, "second")
+        queue.schedule(5.0, "third")
+        assert [queue.pop().kind for _ in range(3)] == [
+            "first", "second", "third",
+        ]
+
+    def test_rejected_push_leaves_queue_unchanged(self):
+        queue = EventQueue()
+        queue.schedule(1.0, "keep")
+        with pytest.raises(ValueError):
+            queue.push(Event(time_s=-0.5, kind="bad"))
+        assert len(queue) == 1
+        assert queue.peek().kind == "keep"
+        # FIFO counter not burned by the failed push: a new tie at the
+        # same time still lands after the survivor.
+        queue.schedule(1.0, "later")
+        assert [queue.pop().kind for _ in range(2)] == ["keep", "later"]
+
+    def test_schedule_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1e-9, "x")
+        assert not queue
+
+    def test_pop_until_is_lazy_and_resumable(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule(t, f"t{t}")
+        it = queue.pop_until(10.0)
+        assert next(it).kind == "t1.0"
+        # Events scheduled mid-drain are seen if they are due.
+        queue.schedule(2.5, "mid")
+        assert [e.kind for e in it] == ["t2.0", "mid", "t3.0"]
+        assert not queue
+
+    def test_zero_time_boundary_allowed(self):
+        queue = EventQueue()
+        queue.schedule(0.0, "epoch")
+        assert queue.pop().time_s == 0.0

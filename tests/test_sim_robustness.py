@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro.core.appro import appro_schedule
+from repro.sim.faults.scenarios import get_scenario
 from repro.sim.robustness import (
+    fault_robustness_report,
     minimum_pairwise_slack,
     perturbed_execution,
     robustness_report,
@@ -90,3 +92,120 @@ class TestSlackAndReport:
     def test_invalid_trials(self, schedule):
         with pytest.raises(ValueError):
             robustness_report(schedule, trials=0)
+
+
+def _brute_force_slack(schedule):
+    """Reference all-pairs implementation the sweep must match."""
+    best = math.inf
+    stops = schedule.scheduled_stops()
+    for i, u in enumerate(stops):
+        for v in stops[i + 1:]:
+            if schedule.tour_of[u] == schedule.tour_of[v]:
+                continue
+            if not (schedule.coverage[u] & schedule.coverage[v]):
+                continue
+            su, fu = schedule.stop_interval(u)
+            sv, fv = schedule.stop_interval(v)
+            best = min(best, max(su - fv, sv - fu))
+    return best
+
+
+class TestSlackSweepEquivalence:
+    def test_matches_brute_force_on_appro(self, schedule):
+        swept = minimum_pairwise_slack(schedule)
+        brute = _brute_force_slack(schedule)
+        if math.isinf(brute):
+            assert math.isinf(swept)
+        else:
+            assert swept == pytest.approx(brute)
+
+    def test_matches_brute_force_on_larger_instances(self):
+        from repro.network.topology import random_wrsn
+
+        for seed in (3, 4, 5):
+            net = random_wrsn(num_sensors=80, seed=seed)
+            rng = np.random.default_rng(seed)
+            net.set_residuals(
+                {
+                    sid: float(rng.uniform(0.0, 0.2))
+                    * net.sensor(sid).capacity_j
+                    for sid in net.all_sensor_ids()
+                }
+            )
+            sched = appro_schedule(
+                net, net.all_sensor_ids(), num_chargers=3
+            )
+            assert len(sched.scheduled_stops()) > 1
+            swept = minimum_pairwise_slack(sched)
+            brute = _brute_force_slack(sched)
+            if math.isinf(brute):
+                assert math.isinf(swept)
+            else:
+                assert swept == pytest.approx(brute), f"seed {seed}"
+
+    def test_matches_brute_force_with_artificial_overlaps(self, schedule):
+        """Negative slack (a planted violation) is reported exactly."""
+        noisy = schedule.copy()
+        # Pull every second tour 30 minutes earlier by cancelling its
+        # waits, manufacturing cross-tour proximity/overlap.
+        for k, tour in enumerate(noisy.tours):
+            if k % 2 == 0:
+                continue
+            for node in tour:
+                noisy.wait[node] = max(0.0, noisy.wait[node] - 1800.0)
+        swept = minimum_pairwise_slack(noisy)
+        brute = _brute_force_slack(noisy)
+        if math.isinf(brute):
+            assert math.isinf(swept)
+        else:
+            assert swept == pytest.approx(brute)
+
+    def test_single_tour_has_infinite_slack(self, depleted_net):
+        sched = appro_schedule(
+            depleted_net, depleted_net.all_sensor_ids(), num_chargers=1
+        )
+        assert math.isinf(minimum_pairwise_slack(sched))
+
+
+class TestDefaultSeeds:
+    def test_bare_report_is_deterministic(self, schedule):
+        a = robustness_report(schedule, trials=5)
+        b = robustness_report(schedule, trials=5)
+        assert a.violation_probability == b.violation_probability
+        assert a.mean_longest_delay_s == b.mean_longest_delay_s
+
+    def test_bare_perturbed_execution_is_deterministic(self, schedule):
+        a = perturbed_execution(schedule)
+        b = perturbed_execution(schedule)
+        assert a.longest_delay_s == b.longest_delay_s
+        assert a.stops == b.stops
+
+
+class TestFaultRobustnessReport:
+    def test_breakdown_report(self, schedule):
+        report = fault_robustness_report(
+            schedule, "breakdown", trials=20, seed=1
+        )
+        assert report.scenario == "breakdown"
+        assert report.trials == 20
+        assert report.breakdown_rate == 1.0
+        assert report.violation_probability == 0.0
+        assert report.mean_repairs > 0
+        assert report.mean_extra_delay_s >= 0.0
+        assert "P(violation)" in str(report)
+
+    def test_accepts_plan_object(self, schedule):
+        plan = get_scenario("slow-roads", seed=2)
+        report = fault_robustness_report(schedule, plan, trials=5)
+        assert report.scenario == "slow-roads"
+        assert report.breakdown_rate == 0.0
+        assert report.mean_realized_delay_s > report.planned_longest_delay_s
+
+    def test_deterministic(self, schedule):
+        a = fault_robustness_report(schedule, "perfect-storm", trials=10)
+        b = fault_robustness_report(schedule, "perfect-storm", trials=10)
+        assert a == b
+
+    def test_invalid_trials(self, schedule):
+        with pytest.raises(ValueError):
+            fault_robustness_report(schedule, "none", trials=0)
