@@ -1,0 +1,124 @@
+"""Micro-benchmark: PlanningContext reuse on repeated planning.
+
+The batch paths (the ``compare`` CLI, the figure campaigns, parameter
+sweeps over ``K``) plan the same instance many times. A cold run pays
+for the distance matrix, the charging graph, both MIS passes and the
+min-max tour construction; every following run over the same
+:class:`~repro.pipeline.PlanningContext` reuses all of them. This
+module measures that win on a 200-sensor all-requesting workload and
+asserts the warm run is at least 3× faster.
+
+Run standalone (e.g. from CI) with::
+
+    python benchmarks/test_micro_context.py --quick
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+import numpy as np
+
+from repro.network.topology import WRSN, random_wrsn
+from repro.pipeline import PlanningContext, planner_names, run_planner
+
+N = 200
+K = 2
+SPEEDUP_FLOOR = 3.0
+
+
+def make_instance(num_sensors: int = N) -> WRSN:
+    net = random_wrsn(num_sensors=num_sensors, seed=101)
+    rng = np.random.default_rng(102)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0, 0.2)) * 10_800.0
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net
+
+
+def time_cold_and_warm(
+    net: WRSN, planner: str = "Appro"
+) -> Tuple[float, float, PlanningContext]:
+    """Seconds for a cold (fresh context) and a warm (reused) run.
+
+    The private distance cache keeps the cold run honest: nothing
+    leaks in from other tests or earlier instances.
+    """
+    requests = net.all_sensor_ids()
+    t0 = time.perf_counter()
+    ctx = PlanningContext(net, requests, share_distances=False)
+    cold_result = run_planner(planner, net, requests, K, context=ctx)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_result = run_planner(planner, net, requests, K, context=ctx)
+    warm_s = time.perf_counter() - t0
+
+    # Reuse must not change the schedule.
+    assert warm_result.longest_delay() == cold_result.longest_delay()
+    assert (
+        warm_result.sensor_finish_times()
+        == cold_result.sensor_finish_times()
+    )
+    return cold_s, warm_s, ctx
+
+
+def test_warm_context_run_is_3x_faster():
+    net = make_instance()
+    cold_s, warm_s, ctx = time_cold_and_warm(net)
+    stats = ctx.stats()
+    assert stats["memo_hits"] > 0
+    assert stats["distance_hits"] > stats["distance_misses"]
+    assert cold_s >= warm_s * SPEEDUP_FLOOR, (
+        f"warm context run not {SPEEDUP_FLOOR}x faster: "
+        f"cold={cold_s:.3f}s warm={warm_s:.3f}s "
+        f"({cold_s / warm_s:.1f}x)"
+    )
+
+
+def test_context_is_shared_across_planners():
+    """One context serves all five paper planners; later planners hit
+    the memos the earlier ones filled."""
+    net = make_instance(80)
+    requests = net.all_sensor_ids()
+    ctx = PlanningContext(net, requests, share_distances=False)
+    for name in planner_names(paper_only=True):
+        result = run_planner(name, net, requests, K, context=ctx)
+        assert result.longest_delay() > 0
+    stats = ctx.stats()
+    assert stats["memo_hits"] > 0
+    assert stats["distance_hits"] > 0
+
+
+def main(quick: bool = False) -> int:
+    num_sensors = 80 if quick else N
+    floor = 2.0 if quick else SPEEDUP_FLOOR
+    net = make_instance(num_sensors)
+    cold_s, warm_s, ctx = time_cold_and_warm(net)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"n={num_sensors} K={K} planner=Appro")
+    print(f"cold run : {cold_s * 1000:8.1f} ms")
+    print(f"warm run : {warm_s * 1000:8.1f} ms")
+    print(f"speedup  : {speedup:8.1f}x (floor {floor}x)")
+    for key, value in sorted(ctx.stats().items()):
+        print(f"  {key:<18} {value}")
+    if speedup < floor:
+        print("FAIL: context reuse is below the speedup floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload and a softer floor (CI smoke)",
+    )
+    sys.exit(main(quick=parser.parse_args().quick))

@@ -21,19 +21,25 @@ Simultaneously"*:
   (:mod:`repro.core`);
 * the four baselines used in the evaluation — ``K-EDF``, ``NETWRAP``,
   ``AA`` and ``K-minMax`` (:mod:`repro.baselines`);
+* the unified planner pipeline — a memoized
+  :class:`~repro.pipeline.PlanningContext` per workload and a registry
+  running every algorithm through one interface
+  (:mod:`repro.pipeline`);
 * a one-year event-driven monitoring simulator and the benchmark
   harness that regenerates every figure of the paper's evaluation
   (:mod:`repro.sim`, :mod:`repro.bench`).
 
 Quickstart::
 
-    from repro import appro_schedule, random_wrsn, ChargerSpec
+    from repro import PlanningContext, planner_names, run_planner
+    from repro import random_wrsn
 
     net = random_wrsn(num_sensors=300, seed=7)
     requests = net.all_sensor_ids()
-    spec = ChargerSpec()
-    schedule = appro_schedule(net, requests, num_chargers=2, charger=spec)
-    print(schedule.longest_delay())
+    ctx = PlanningContext(net, requests)
+    for name in planner_names(paper_only=True):
+        result = run_planner(name, net, requests, 2, context=ctx)
+        print(name, result.longest_delay())
 """
 
 from repro.baselines import (
@@ -50,12 +56,20 @@ from repro.core import (
 )
 from repro.energy.charging import ChargerSpec
 from repro.network.topology import WRSN, random_wrsn
+from repro.pipeline import (
+    PlannedSchedule,
+    PlanningContext,
+    planner_names,
+    run_planner,
+)
 from repro.sim.simulator import MonitoringSimulation
 
 __all__ = [
     "ChargerSpec",
     "ChargingSchedule",
     "MonitoringSimulation",
+    "PlannedSchedule",
+    "PlanningContext",
     "ScheduleViolation",
     "WRSN",
     "aa_schedule",
@@ -63,7 +77,9 @@ __all__ = [
     "kedf_schedule",
     "kminmax_baseline_schedule",
     "netwrap_schedule",
+    "planner_names",
     "random_wrsn",
+    "run_planner",
     "validate_schedule",
 ]
 

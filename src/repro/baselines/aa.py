@@ -19,7 +19,7 @@ scipy versions.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.baselines.common import (
     charge_times_for_requests,
 )
 from repro.energy.charging import ChargerSpec
+from repro.geometry.distcache import DistanceCache
 from repro.network.topology import WRSN
 from repro.tours.tsp import nearest_neighbor_tour
 
@@ -92,6 +93,7 @@ def aa_schedule(
     num_chargers: int,
     charger: Optional[ChargerSpec] = None,
     seed: int = 0,
+    context: Optional[Any] = None,
 ) -> BaselineSchedule:
     """Schedule the request set with the AA clustering heuristic.
 
@@ -101,6 +103,9 @@ def aa_schedule(
         num_chargers: ``K`` (also the number of K-means clusters).
         charger: MCV parameters (paper defaults when omitted).
         seed: K-means seed.
+        context: optional ``repro.pipeline.PlanningContext`` (duck
+            typed) supplying the shared distance cache and memoized
+            charge times.
 
     Returns:
         A :class:`~repro.baselines.common.BaselineSchedule`.
@@ -111,7 +116,16 @@ def aa_schedule(
     requests = sorted(set(request_ids))
     positions = network.positions()
     depot = network.depot.position
-    charge_times = charge_times_for_requests(network, requests, spec)
+    if context is not None:
+        dist = context.distance
+        charge_times = context.charge_times_for(requests)
+    else:
+        dist = DistanceCache(positions, depot)
+        charge_times = charge_times_for_requests(network, requests, spec)
+
+    def sentinel_dist(a, b):
+        # nearest_neighbor_tour runs in "DEPOT"-sentinel label space.
+        return dist(None if a == "DEPOT" else a, None if b == "DEPOT" else b)
 
     itineraries: List = [[] for _ in range(num_chargers)]
     if requests:
@@ -129,8 +143,9 @@ def aa_schedule(
                 group + ["DEPOT"],
                 {**{sid: positions[sid] for sid in group}, "DEPOT": depot},
                 "DEPOT",
+                sentinel_dist,
             )[1:]
             itineraries[k] = build_itinerary(
-                order, positions, depot, spec, charge_times
+                order, positions, depot, spec, charge_times, dist=dist
             )
-    return BaselineSchedule(depot, positions, spec, itineraries)
+    return BaselineSchedule(depot, positions, spec, itineraries, distance=dist)

@@ -12,12 +12,15 @@ benchmark harness treat all five algorithms uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.energy.charging import ChargerSpec, full_charge_time
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import Point
 from repro.network.topology import WRSN
+
+#: Pairwise distance lookup over sensor ids; ``None`` means the depot.
+DistanceFn = Callable[[Optional[int], Optional[int]], float]
 
 
 @dataclass(frozen=True)
@@ -48,10 +51,16 @@ class BaselineSchedule:
         positions: Mapping[int, Point],
         charger: ChargerSpec,
         itineraries: Sequence[Sequence[Visit]],
+        distance: Optional[DistanceFn] = None,
     ):
         self.depot = depot
         self.positions = positions
         self.charger = charger
+        self.distance: DistanceFn = (
+            distance
+            if distance is not None
+            else DistanceCache(positions, depot)
+        )
         self.itineraries: List[List[Visit]] = [list(it) for it in itineraries]
 
     @property
@@ -65,7 +74,7 @@ class BaselineSchedule:
             return 0.0
         last = itinerary[-1]
         back = (
-            euclidean(self.positions[last.sensor_id], self.depot)
+            self.distance(last.sensor_id, None)
             / self.charger.travel_speed_mps
         )
         return last.finish_s + back
@@ -113,22 +122,24 @@ def build_itinerary(
     charger: ChargerSpec,
     charge_times: Mapping[int, float],
     start_time_s: float = 0.0,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Visit]:
     """Walk one MCV through ``sequence``, producing timed visits.
 
     The vehicle starts at the depot at ``start_time_s``, drives to each
     sensor in order and charges it fully before moving on.
     """
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     visits: List[Visit] = []
     clock = start_time_s
-    here = depot
+    here: Optional[int] = None
     for sid in sequence:
-        there = positions[sid]
-        clock += euclidean(here, there) / charger.travel_speed_mps
+        clock += dist(here, sid) / charger.travel_speed_mps
         arrival = clock
         clock += charge_times[sid]
         visits.append(Visit(sensor_id=sid, arrival_s=arrival, finish_s=clock))
-        here = there
+        here = sid
     return visits
 
 

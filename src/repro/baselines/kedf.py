@@ -13,7 +13,7 @@ at a time (one-to-one), then returns to the depot.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
@@ -25,7 +25,7 @@ from repro.baselines.common import (
     default_lifetimes,
 )
 from repro.energy.charging import ChargerSpec
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.network.topology import WRSN
 
 
@@ -35,6 +35,7 @@ def kedf_schedule(
     num_chargers: int,
     charger: Optional[ChargerSpec] = None,
     lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[Any] = None,
 ) -> BaselineSchedule:
     """Schedule the request set with the K-EDF heuristic.
 
@@ -46,6 +47,9 @@ def kedf_schedule(
         lifetimes: residual lifetime per requested sensor in seconds;
             drives the EDF order. Falls back to a rate-proportional
             estimate when omitted.
+        context: optional ``repro.pipeline.PlanningContext`` (duck
+            typed — this layer cannot import the pipeline) supplying
+            the shared distance cache and memoized charge times.
 
     Returns:
         A :class:`~repro.baselines.common.BaselineSchedule`.
@@ -56,7 +60,12 @@ def kedf_schedule(
     requests = sorted(set(request_ids))
     positions = network.positions()
     depot = network.depot.position
-    charge_times = charge_times_for_requests(network, requests, spec)
+    if context is not None:
+        dist = context.distance
+        charge_times = context.charge_times_for(requests)
+    else:
+        dist = DistanceCache(positions, depot)
+        charge_times = charge_times_for_requests(network, requests, spec)
     life = default_lifetimes(network, requests, lifetimes)
 
     # EDF order: most urgent first.
@@ -64,13 +73,14 @@ def kedf_schedule(
 
     # Per-MCV assignment sequences built group by group.
     sequences: List[List[int]] = [[] for _ in range(num_chargers)]
-    # Track each vehicle's location after its already-assigned visits.
-    locations = [depot for _ in range(num_chargers)]
+    # Track each vehicle's location after its already-assigned visits
+    # (``None`` = still at the depot).
+    locations: List[Optional[int]] = [None for _ in range(num_chargers)]
     for g in range(0, len(ordered), num_chargers):
         group = ordered[g : g + num_chargers]
         cost = np.array(
             [
-                [euclidean(locations[k], positions[sid]) for sid in group]
+                [dist(locations[k], sid) for sid in group]
                 for k in range(num_chargers)
             ]
         )
@@ -78,10 +88,10 @@ def kedf_schedule(
         for k, j in zip(rows, cols):
             sid = group[j]
             sequences[k].append(sid)
-            locations[k] = positions[sid]
+            locations[k] = sid
 
     itineraries = [
-        build_itinerary(seq, positions, depot, spec, charge_times)
+        build_itinerary(seq, positions, depot, spec, charge_times, dist=dist)
         for seq in sequences
     ]
-    return BaselineSchedule(depot, positions, spec, itineraries)
+    return BaselineSchedule(depot, positions, spec, itineraries, distance=dist)

@@ -14,7 +14,7 @@ Appro only ``|S_I|`` sojourn disks.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.baselines.common import (
     BaselineSchedule,
@@ -22,6 +22,7 @@ from repro.baselines.common import (
     charge_times_for_requests,
 )
 from repro.energy.charging import ChargerSpec
+from repro.geometry.distcache import DistanceCache
 from repro.network.topology import WRSN
 from repro.tours.kminmax import solve_k_minmax_tours
 
@@ -32,6 +33,7 @@ def kminmax_baseline_schedule(
     num_chargers: int,
     charger: Optional[ChargerSpec] = None,
     tsp_method: str = "christofides",
+    context: Optional[Any] = None,
 ) -> BaselineSchedule:
     """Schedule the request set with the K-minMax baseline.
 
@@ -44,6 +46,9 @@ def kminmax_baseline_schedule(
             :func:`repro.tours.tsp.build_tsp_order`). Large request
             sets automatically fall back from Christofides to the
             2-approximation for tractability.
+        context: optional ``repro.pipeline.PlanningContext`` (duck
+            typed) supplying the shared distance cache, memoized
+            charge times and memoized min-max tour solutions.
 
     Returns:
         A :class:`~repro.baselines.common.BaselineSchedule`.
@@ -54,7 +59,12 @@ def kminmax_baseline_schedule(
     requests = sorted(set(request_ids))
     positions = network.positions()
     depot = network.depot.position
-    charge_times = charge_times_for_requests(network, requests, spec)
+    if context is not None:
+        dist = context.distance
+        charge_times = context.charge_times_for(requests)
+    else:
+        dist = DistanceCache(positions, depot)
+        charge_times = charge_times_for_requests(network, requests, spec)
 
     # Christofides' matching step is O(n^3)-ish; over every sensor
     # (rather than Appro's far smaller sojourn set) it becomes the
@@ -63,17 +73,23 @@ def kminmax_baseline_schedule(
     if method == "christofides" and len(requests) > 400:
         method = "double_mst"
 
-    tours, _ = solve_k_minmax_tours(
-        requests,
-        positions,
-        depot,
-        num_chargers,
-        spec.travel_speed_mps,
-        service=lambda sid: charge_times[sid],
-        tsp_method=method,
-    )
+    if context is not None:
+        tours, _ = context.minmax_tours(
+            requests, num_chargers, charge_times, tsp_method=method
+        )
+    else:
+        tours, _ = solve_k_minmax_tours(
+            requests,
+            positions,
+            depot,
+            num_chargers,
+            spec.travel_speed_mps,
+            service=lambda sid: charge_times[sid],
+            tsp_method=method,
+            dist=dist,
+        )
     itineraries = [
-        build_itinerary(tour, positions, depot, spec, charge_times)
+        build_itinerary(tour, positions, depot, spec, charge_times, dist=dist)
         for tour in tours
     ]
-    return BaselineSchedule(depot, positions, spec, itineraries)
+    return BaselineSchedule(depot, positions, spec, itineraries, distance=dist)

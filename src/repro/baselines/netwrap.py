@@ -16,7 +16,8 @@ the weighting is scale-free; ``travel_weight`` tunes the trade-off
 from __future__ import annotations
 
 import heapq
-from typing import List, Mapping, Optional, Sequence, Set
+import math
+from typing import Any, List, Mapping, Optional, Sequence, Set
 
 from repro.baselines.common import (
     BaselineSchedule,
@@ -25,7 +26,7 @@ from repro.baselines.common import (
     default_lifetimes,
 )
 from repro.energy.charging import ChargerSpec
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.network.topology import WRSN
 
 
@@ -36,6 +37,7 @@ def netwrap_schedule(
     charger: Optional[ChargerSpec] = None,
     lifetimes: Optional[Mapping[int, float]] = None,
     travel_weight: float = 0.5,
+    context: Optional[Any] = None,
 ) -> BaselineSchedule:
     """Schedule the request set with the NETWRAP greedy heuristic.
 
@@ -48,6 +50,9 @@ def netwrap_schedule(
         travel_weight: weight of the normalised travel-time term;
             ``1 - travel_weight`` goes to the normalised residual
             lifetime. Must lie in ``[0, 1]``.
+        context: optional ``repro.pipeline.PlanningContext`` (duck
+            typed) supplying the shared distance cache and memoized
+            charge times.
 
     Returns:
         A :class:`~repro.baselines.common.BaselineSchedule`.
@@ -60,12 +65,17 @@ def netwrap_schedule(
     requests = sorted(set(request_ids))
     positions = network.positions()
     depot = network.depot.position
-    charge_times = charge_times_for_requests(network, requests, spec)
+    if context is not None:
+        dist = context.distance
+        charge_times = context.charge_times_for(requests)
+    else:
+        dist = DistanceCache(positions, depot)
+        charge_times = charge_times_for_requests(network, requests, spec)
     life = default_lifetimes(network, requests, lifetimes)
 
     max_life = max(life.values(), default=1.0) or 1.0
     diag = (
-        euclidean((0.0, 0.0), (network.field.width, network.field.height))
+        math.hypot(network.field.width, network.field.height)
         / spec.travel_speed_mps
     )
 
@@ -74,16 +84,14 @@ def netwrap_schedule(
     # (time_free, mcv_index) heap; all vehicles start at the depot at 0.
     free_at = [(0.0, k) for k in range(num_chargers)]
     heapq.heapify(free_at)
-    locations = {k: depot for k in range(num_chargers)}
+    # Vehicle locations as sensor labels (``None`` = at the depot).
+    locations: dict = {k: None for k in range(num_chargers)}
 
     while unclaimed:
         now, k = heapq.heappop(free_at)
 
         def score(sid: int) -> float:
-            travel = (
-                euclidean(locations[k], positions[sid])
-                / spec.travel_speed_mps
-            )
+            travel = dist(locations[k], sid) / spec.travel_speed_mps
             return (
                 travel_weight * travel / max(diag, 1e-12)
                 + (1.0 - travel_weight) * life[sid] / max_life
@@ -91,15 +99,13 @@ def netwrap_schedule(
 
         target = min(unclaimed, key=lambda sid: (score(sid), sid))
         unclaimed.discard(target)
-        travel_s = (
-            euclidean(locations[k], positions[target]) / spec.travel_speed_mps
-        )
+        travel_s = dist(locations[k], target) / spec.travel_speed_mps
         arrival = now + travel_s
         finish = arrival + charge_times[target]
         itineraries[k].append(
             Visit(sensor_id=target, arrival_s=arrival, finish_s=finish)
         )
-        locations[k] = positions[target]
+        locations[k] = target
         heapq.heappush(free_at, (finish, k))
 
-    return BaselineSchedule(depot, positions, spec, itineraries)
+    return BaselineSchedule(depot, positions, spec, itineraries, distance=dist)

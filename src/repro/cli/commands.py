@@ -276,6 +276,49 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_plan(args) -> int:
+    """Run one registered planner through the unified pipeline."""
+    from repro.pipeline import PlanningContext, run_planner
+
+    net = random_wrsn(num_sensors=args.num_sensors, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0.0, 0.2)) * net.sensor(sid).capacity_j
+            for sid in net.all_sensor_ids()
+        }
+    )
+    requests = net.all_sensor_ids()
+    ctx = PlanningContext(net, requests)
+    t0 = time.time()
+    result = run_planner(
+        args.planner, net, requests, args.num_chargers, context=ctx
+    )
+    elapsed = time.time() - t0
+    uncovered = sorted(set(requests) - result.covered_sensors())
+    stats = ctx.stats()
+    print(f"planner        : {result.planner}")
+    print(f"requests       : {len(requests)}")
+    print(f"chargers (K)   : {result.num_tours}")
+    print(f"multi-node     : {result.multi_node}")
+    print(f"longest delay  : {result.longest_delay() / 3600:.2f} h")
+    delays = ", ".join(f"{d / 3600:.2f}" for d in result.tour_delays())
+    print(f"per-tour (h)   : {delays}")
+    print(f"covered        : {len(result.covered_sensors())}"
+          f"/{len(requests)}")
+    print(f"violations     : {len(result.validate(requests))}")
+    print(f"cache          : {stats['distance_pairs']} distance pairs, "
+          f"{stats['distance_hits']} hits / "
+          f"{stats['distance_misses']} misses, "
+          f"{stats['memo_hits']} memo hits")
+    print(f"solved in      : {elapsed:.2f} s")
+    if uncovered:
+        print(f"error: {len(uncovered)} request(s) left uncovered: "
+              f"{uncovered[:10]}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_faults(args) -> int:
     """Run the fault-injection campaign and print the comparison."""
     from repro.bench.fault_campaign import run_fault_campaign

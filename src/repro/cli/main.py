@@ -12,10 +12,12 @@ import sys
 from typing import List, Optional
 
 from repro.cli import commands
+from repro.pipeline import planner_names
 from repro.sim.faults.scenarios import scenario_names
 from repro.sim.scenario import ALGORITHMS
 
 _ALGORITHM_NAMES = sorted(ALGORITHMS)
+_PLANNER_NAMES = planner_names()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=["fig3", "fig4", "fig5"],
     )
     rep.set_defaults(func=commands.cmd_report)
+
+    pln = sub.add_parser(
+        "plan",
+        help="run one registered planner through the unified "
+        "pipeline (shared PlanningContext, coverage check)",
+    )
+    pln.add_argument(
+        "-p", "--planner", choices=_PLANNER_NAMES, default="Appro",
+    )
+    pln.add_argument("-n", "--num-sensors", type=int, default=100)
+    pln.add_argument("-k", "--num-chargers", type=int, default=2)
+    pln.add_argument("--seed", type=int, default=0)
+    pln.set_defaults(func=commands.cmd_plan)
 
     flt = sub.add_parser(
         "faults",

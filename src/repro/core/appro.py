@@ -30,7 +30,7 @@ negligible delay (see ``EXPERIMENTS.md``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import networkx as nx
 
@@ -85,6 +85,7 @@ def appro_schedule(
     enforce_feasibility: bool = True,
     artifacts: Optional[ApproArtifacts] = None,
     efficiency=None,
+    context: Optional[Any] = None,
 ) -> ChargingSchedule:
     """Run Algorithm 1 and return the resulting charging schedule.
 
@@ -108,6 +109,11 @@ def appro_schedule(
             model when omitted. Under a decaying model a stop must
             charge longer for sensors near its disk boundary, so
             Eq. (2)/(3) durations become stop-dependent.
+        context: optional ``repro.pipeline.PlanningContext`` (duck
+            typed — this layer cannot import the pipeline) built for
+            the same network/request-set/charger; supplies memoized
+            graphs, MIS results, coverage sets, charge times, min-max
+            tours and the shared distance cache.
 
     Returns:
         The :class:`~repro.core.schedule.ChargingSchedule`.
@@ -126,31 +132,47 @@ def appro_schedule(
 
     positions = network.positions()
     depot = network.depot.position
-    charge_times = {
-        sid: full_charge_time(
-            network.sensor(sid).capacity_j,
-            network.sensor(sid).residual_j,
-            spec.charge_rate_w,
+    if context is not None:
+        context.validate_for(network, requests, spec)
+        charge_times = context.charge_times_for(requests)
+
+        # Steps 1-4 from the context's memos.
+        charging_graph = context.charging_graph
+        sojourn_candidates = context.sojourn_candidates(mis_strategy, seed)
+        coverage = context.coverage_for(sojourn_candidates)
+        aux_graph = context.auxiliary_graph(mis_strategy, seed)
+        core = context.conflict_free_core(mis_strategy, seed)
+    else:
+        charge_times = {
+            sid: full_charge_time(
+                network.sensor(sid).capacity_j,
+                network.sensor(sid).residual_j,
+                spec.charge_rate_w,
+            )
+            for sid in requests
+        }
+
+        # Steps 1-2: charging graph and sojourn candidates.
+        charging_graph = build_charging_graph(
+            positions, spec.charge_radius_m, nodes=requests
         )
-        for sid in requests
-    }
+        sojourn_candidates = maximal_independent_set(
+            charging_graph, strategy=mis_strategy, seed=seed
+        )
+        coverage = coverage_sets(
+            sojourn_candidates,
+            positions,
+            spec.charge_radius_m,
+            targets=requests,
+        )
 
-    # Steps 1-2: charging graph and sojourn candidates.
-    charging_graph = build_charging_graph(
-        positions, spec.charge_radius_m, nodes=requests
-    )
-    sojourn_candidates = maximal_independent_set(
-        charging_graph, strategy=mis_strategy, seed=seed
-    )
-    coverage = coverage_sets(
-        sojourn_candidates, positions, spec.charge_radius_m, targets=requests
-    )
-
-    # Steps 3-4: conflict graph and its conflict-free core.
-    aux_graph = build_auxiliary_graph(
-        sojourn_candidates, coverage, positions, spec.charge_radius_m
-    )
-    core = maximal_independent_set(aux_graph, strategy=mis_strategy, seed=seed)
+        # Steps 3-4: conflict graph and its conflict-free core.
+        aux_graph = build_auxiliary_graph(
+            sojourn_candidates, coverage, positions, spec.charge_radius_m
+        )
+        core = maximal_independent_set(
+            aux_graph, strategy=mis_strategy, seed=seed
+        )
 
     pair_time = None
     if efficiency is not None:
@@ -171,20 +193,26 @@ def appro_schedule(
         charger=spec,
         num_tours=num_chargers,
         pairwise_charge_time=pair_time,
+        distance=context.distance if context is not None else None,
     )
 
     # Step 5: K min-max tours over the conflict-free core, with the
     # Eq. (2) upper durations τ(v) as service weights.
     tau = {v: schedule.upper_duration(v) for v in core}
-    tours, _ = solve_k_minmax_tours(
-        core,
-        positions,
-        depot,
-        num_chargers,
-        spec.travel_speed_mps,
-        service=lambda v: tau[v],
-        tsp_method=tsp_method,
-    )
+    if context is not None:
+        tours, _ = context.minmax_tours(
+            core, num_chargers, tau, tsp_method=tsp_method
+        )
+    else:
+        tours, _ = solve_k_minmax_tours(
+            core,
+            positions,
+            depot,
+            num_chargers,
+            spec.travel_speed_mps,
+            service=lambda v: tau[v],
+            tsp_method=tsp_method,
+        )
     for k, tour in enumerate(tours):
         for node in tour:
             schedule.append_stop(k, node)

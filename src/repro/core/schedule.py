@@ -34,8 +34,11 @@ from typing import (
 )
 
 from repro.energy.charging import ChargerSpec
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import Point
+
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Optional[int], Optional[int]], float]
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,9 @@ class ChargingSchedule:
         charge_times: Eq. (1) full-charge time ``t_u`` per sensor.
         charger: MCV parameters (speed is the only one used here).
         num_tours: ``K``.
+        distance: shared label-keyed distance lookup (``None`` label =
+            depot); a private :class:`DistanceCache` is created when
+            omitted.
     """
 
     def __init__(
@@ -83,11 +89,17 @@ class ChargingSchedule:
         charger: ChargerSpec,
         num_tours: int,
         pairwise_charge_time: Optional[Callable[[int, int], float]] = None,
+        distance: Optional[DistanceFn] = None,
     ):
         if num_tours <= 0:
             raise ValueError(f"num_tours must be positive, got {num_tours}")
         self.depot = depot
         self.positions = positions
+        self.distance: DistanceFn = (
+            distance
+            if distance is not None
+            else DistanceCache(positions, depot)
+        )
         self.coverage = coverage
         self.charge_times = charge_times
         #: ``(sensor, stop) -> charge seconds``. The default ignores
@@ -140,9 +152,7 @@ class ChargingSchedule:
 
     def travel_time(self, a: Optional[int], b: Optional[int]) -> float:
         """Travel time between two stops (``None`` means the depot)."""
-        pa = self.depot if a is None else self.positions[a]
-        pb = self.depot if b is None else self.positions[b]
-        return euclidean(pa, pb) / self.speed()
+        return self.distance(a, b) / self.speed()
 
     # ------------------------------------------------------------------
     # Durations (Eqs. 2, 3, 10)
@@ -314,6 +324,7 @@ class ChargingSchedule:
             charger=self.charger,
             num_tours=self.num_tours,
             pairwise_charge_time=self._pair_time,
+            distance=self.distance,
         )
         dup.tours = [list(tour) for tour in self.tours]
         dup.duration = dict(self.duration)

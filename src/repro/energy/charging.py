@@ -49,7 +49,8 @@ class ChargerSpec:
 
     def travel_time(self, a: PointLike, b: PointLike) -> float:
         """Seconds for the MCV to travel from ``a`` to ``b``."""
-        return euclidean(a, b) / self.travel_speed_mps
+        # Point-based public API: one segment, no labels to cache by.
+        return euclidean(a, b) / self.travel_speed_mps  # repro-lint: disable=euclidean-call
 
 
 def full_charge_time(

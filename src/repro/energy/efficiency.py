@@ -101,7 +101,8 @@ def pairwise_charge_time_fn(
         deficit = deficits_j[sensor_id]
         if deficit <= 0:
             return 0.0
-        d = euclidean(positions[sensor_id], positions[stop_id])
+        # In-disk pairs only (≤ charge radius); not worth a cache.
+        d = euclidean(positions[sensor_id], positions[stop_id])  # repro-lint: disable=euclidean-call
         eff = model.efficiency(d)
         return deficit / (charger.charge_rate_w * eff)
 

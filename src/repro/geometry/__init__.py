@@ -20,10 +20,12 @@ from repro.geometry.distance import (
     path_length,
     tour_length,
 )
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.grid_index import GridIndex
 from repro.geometry.point import Point, as_point, centroid
 
 __all__ = [
+    "DistanceCache",
     "Field",
     "GridIndex",
     "Point",

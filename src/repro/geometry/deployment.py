@@ -53,7 +53,7 @@ def _rng(seed: Optional[int]) -> np.random.Generator:
 
 
 def uniform_deployment(
-    num_sensors: int, field: Field = Field(), seed: int = 0
+    num_sensors: int, field: Optional[Field] = None, seed: int = 0
 ) -> List[Point]:
     """Deploy ``num_sensors`` points i.i.d. uniformly over ``field``.
 
@@ -62,6 +62,8 @@ def uniform_deployment(
     """
     if num_sensors < 0:
         raise ValueError(f"num_sensors must be non-negative, got {num_sensors}")
+    if field is None:
+        field = Field()
     rng = _rng(seed)
     xs = rng.uniform(0.0, field.width, num_sensors)
     ys = rng.uniform(0.0, field.height, num_sensors)
@@ -71,7 +73,7 @@ def uniform_deployment(
 def clustered_deployment(
     num_sensors: int,
     num_clusters: int,
-    field: Field = Field(),
+    field: Optional[Field] = None,
     cluster_std: float = 5.0,
     seed: int = 0,
 ) -> List[Point]:
@@ -87,6 +89,8 @@ def clustered_deployment(
         raise ValueError(f"num_clusters must be positive, got {num_clusters}")
     if cluster_std < 0:
         raise ValueError(f"cluster_std must be non-negative, got {cluster_std}")
+    if field is None:
+        field = Field()
     rng = _rng(seed)
     centers = rng.uniform(
         low=(0.0, 0.0), high=(field.width, field.height), size=(num_clusters, 2)
@@ -101,7 +105,7 @@ def clustered_deployment(
 
 
 def grid_deployment(
-    num_sensors: int, field: Field = Field(), jitter: float = 0.0,
+    num_sensors: int, field: Optional[Field] = None, jitter: float = 0.0,
     seed: int = 0,
 ) -> List[Point]:
     """Deploy points on a near-square grid covering the field.
@@ -115,6 +119,8 @@ def grid_deployment(
         raise ValueError(f"num_sensors must be non-negative, got {num_sensors}")
     if num_sensors == 0:
         return []
+    if field is None:
+        field = Field()
     cols = int(math.ceil(math.sqrt(num_sensors)))
     rows = int(math.ceil(num_sensors / cols))
     dx = field.width / (cols + 1)

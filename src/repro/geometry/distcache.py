@@ -1,0 +1,96 @@
+"""Memoized pairwise-distance lookup over labelled points.
+
+Every layer of the scheduling stack — TSP constructions, 2-opt, tour
+splitting, schedule finish-time recursions, baseline itineraries —
+needs the same Euclidean distances between the same few hundred points,
+and historically each kept its own ad-hoc ``euclidean()`` closure. The
+:class:`DistanceCache` is the single shared lookup: it is keyed by
+point *labels* (sensor ids, with ``None`` denoting the depot), computes
+each pair exactly once via :func:`repro.geometry.distance.euclidean`
+and memoizes the result under both orientations.
+
+Because the cached value *is* the ``euclidean()`` result (``math.hypot``
+— never a vectorised reimplementation), threading a cache through a
+code path cannot change any computed float: schedules built through a
+cache are byte-identical to the pre-cache code paths.
+
+The cache is deliberately label-agnostic: tour code uses its ``"DEPOT"``
+sentinel, schedule code uses ``None``, and both may share one cache as
+long as they agree on the depot convention (``None`` here; callers with
+other sentinels wrap the cache, see ``repro.tours.tsp.build_tsp_order``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.geometry.distance import euclidean
+from repro.geometry.point import PointLike
+
+
+class DistanceCache:
+    """Label-keyed memoized Euclidean distances.
+
+    Args:
+        positions: label -> ``(x, y)`` position. The mapping is kept by
+            reference and must not change while the cache is in use
+            (WRSN deployments are static, so in practice it never does).
+        depot: position the label ``None`` resolves to; omit for caches
+            over pure label spaces with no depot.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[Hashable, PointLike],
+        depot: Optional[PointLike] = None,
+    ):
+        self._positions = positions
+        self._depot = depot
+        self._memo: Dict[Tuple[Hashable, Hashable], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def position_of(self, label: Hashable) -> PointLike:
+        """Resolve a label (``None`` = depot) to its position.
+
+        Raises:
+            ValueError: when ``None`` is queried on a depot-less cache.
+        """
+        if label is None:
+            if self._depot is None:
+                raise ValueError(
+                    "this DistanceCache has no depot; the label None "
+                    "cannot be resolved"
+                )
+            return self._depot
+        return self._positions[label]
+
+    def __call__(self, a: Hashable, b: Hashable) -> float:
+        """Distance between the points labelled ``a`` and ``b``."""
+        if a == b:
+            return 0.0
+        key = (a, b)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        d = euclidean(self.position_of(a), self.position_of(b))
+        self._memo[key] = d
+        self._memo[(b, a)] = d
+        return d
+
+    def __len__(self) -> int:
+        """Number of stored (directed) pair entries."""
+        return len(self._memo)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters and the number of cached pairs."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "pairs": len(self._memo) // 2,
+        }
+
+
+__all__ = ["DistanceCache"]

@@ -121,6 +121,8 @@ def schedule_to_dict(
     internal solver state; it is sufficient to drive an MCV fleet or to
     recompute every metric in :mod:`repro.sim.metrics`.
     """
+    # Unwrap the pipeline's PlannedSchedule proxy, if present.
+    schedule = getattr(schedule, "raw", schedule)
     if isinstance(schedule, ChargingSchedule):
         vehicles: List[Dict] = []
         for k, tour in enumerate(schedule.tours):

@@ -6,17 +6,20 @@ Importing this package registers every rule with
 * ``unit-suffix`` (R1) — physical-quantity names carry unit tokens.
 * ``float-eq`` (R2) — no exact ``==``/``!=`` on physical quantities.
 * ``seeded-rng`` (R3) — no unseeded global randomness outside tests.
-* ``mutable-default`` (R4) — no mutable default arguments.
+* ``mutable-default`` (R4) — no mutable or class-instance default
+  arguments.
 * ``import-layer`` (R5) — the package layering contract.
 * ``api-drift`` (R6) — ``docs/API.md`` matches the public API.
+* ``euclidean-call`` (R7) — distances go through the shared cache.
 """
 
-from repro.lint.rules import api_drift, defaults, floateq, layering
-from repro.lint.rules import randomness, units
+from repro.lint.rules import api_drift, defaults, distance, floateq
+from repro.lint.rules import layering, randomness, units
 
 __all__ = [
     "api_drift",
     "defaults",
+    "distance",
     "floateq",
     "layering",
     "randomness",

@@ -6,6 +6,13 @@ across requests this turns into cross-request state leakage. The rule
 flags list/dict/set literals, comprehensions and bare
 ``list()``/``dict()``/``set()``/``bytearray()`` calls used as defaults
 (use ``None`` and materialise inside the body instead).
+
+Class-instance defaults — ``def f(field: Field = Field())`` — are the
+same trap in disguise: every call shares one instance, and unless the
+class is genuinely immutable any mutation leaks across calls (the
+``WRSN(field=Field())`` default shipped exactly this bug). The rule
+flags zero-and-keyword-argument calls to CamelCase names used as
+defaults; genuinely frozen sentinels can suppress with a pragma.
 """
 
 from __future__ import annotations
@@ -39,14 +46,43 @@ def _is_mutable_default(node: ast.expr) -> bool:
     )
 
 
+def _is_instance_default(node: ast.expr) -> bool:
+    """A constructor call used as a default: ``f(field=Field())``.
+
+    CamelCase heuristic: a call to a capitalised bare name (or a
+    capitalised attribute, e.g. ``module.Field()``) is treated as a
+    class instantiation. Factories like ``frozenset()`` stay with the
+    mutable-factory list above.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return False
+    return name[:1].isupper()
+
+
 class _Visitor(RuleVisitor):
     def _check_args(self, args: ast.arguments) -> None:
         for default in [*args.defaults, *args.kw_defaults]:
-            if default is not None and _is_mutable_default(default):
+            if default is None:
+                continue
+            if _is_mutable_default(default):
                 self.report(
                     default,
                     "mutable default argument is shared across calls; "
                     "default to None and build the container in the body",
+                )
+            elif _is_instance_default(default):
+                self.report(
+                    default,
+                    "class-instance default is evaluated once and shared "
+                    "across calls; default to None and construct the "
+                    "instance in the body",
                 )
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -67,7 +103,7 @@ class MutableDefaultRule(FileRule):
     """R4: list/dict/set defaults are evaluated once and shared."""
 
     id = "mutable-default"
-    description = "no mutable default arguments"
+    description = "no mutable or class-instance default arguments"
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(_Visitor(self, ctx).run())

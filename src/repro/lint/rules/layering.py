@@ -9,9 +9,10 @@ The architecture is a strict DAG of layers; an import may only point
     layer 3   graphs, tours
     layer 4   core
     layer 5   baselines
-    layer 6   sim, io
-    layer 7   bench, viz
-    layer 8   cli
+    layer 6   pipeline
+    layer 7   sim, io
+    layer 8   bench, viz
+    layer 9   cli
 
 (This refines ISSUE/DESIGN's ``geometry → graphs/energy → core/tours →
 baselines/sim → bench/cli/viz`` sketch with the two substrate layers —
@@ -45,11 +46,12 @@ LAYERS: Dict[str, int] = {
     "tours": 3,
     "core": 4,
     "baselines": 5,
-    "io": 6,
-    "sim": 6,
-    "bench": 7,
-    "viz": 7,
-    "cli": 8,
+    "pipeline": 6,
+    "io": 7,
+    "sim": 7,
+    "bench": 8,
+    "viz": 8,
+    "cli": 9,
 }
 
 #: Modules of the root package exempt from the contract: the package

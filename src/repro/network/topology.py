@@ -49,10 +49,12 @@ class WRSN:
         base_station: BaseStation,
         depot: Depot,
         comm_range_m: float = DEFAULT_COMM_RANGE_M,
-        field: Field = Field(),
+        field: Optional[Field] = None,
     ):
         if comm_range_m <= 0:
             raise ValueError(f"comm range must be positive: {comm_range_m}")
+        if field is None:
+            field = Field()
         self._sensors: Dict[int, Sensor] = {}
         for sensor in sensors:
             if sensor.id in self._sensors:
@@ -149,7 +151,7 @@ class WRSN:
 
 def random_wrsn(
     num_sensors: int,
-    field: Field = Field(),
+    field: Optional[Field] = None,
     seed: int = 0,
     capacity_j: float = DEFAULT_CAPACITY_J,
     b_min_bps: float = DEFAULT_B_MIN_BPS,
@@ -186,6 +188,8 @@ def random_wrsn(
         raise ValueError(
             f"invalid rate interval [{b_min_bps}, {b_max_bps}]"
         )
+    if field is None:
+        field = Field()
     rng = np.random.default_rng(seed)
     points = uniform_deployment(
         num_sensors, field=field, seed=int(rng.integers(0, 2**31))

@@ -1,0 +1,337 @@
+"""The :class:`PlanningContext` — memoized planning state.
+
+Every planner over the same ``(WRSN, request set, ChargerSpec)`` triple
+recomputes the same expensive structures: the pairwise distances, the
+charging graph ``G_c``, the MIS of sojourn candidates, per-candidate
+coverage sets ``N_c⁺(v)``, the auxiliary conflict graph ``H`` and its
+conflict-free core, the Eq. (1) full-charge times, and the ``K``
+min-max tour solutions. The context computes each of them lazily, once,
+and hands the memoized result to whichever planner asks — so comparing
+five algorithms on one workload (the bench/compare loops) or re-running
+one algorithm with different ``K`` pays the construction cost once.
+
+The distance cache is additionally shared *across* contexts built on
+the same :class:`~repro.network.topology.WRSN` (keyed weakly, so
+networks are collected normally): sensor positions never change between
+simulation rounds, while residual energies — and hence request sets and
+charge times — do. Each round's context therefore reuses every distance
+computed by earlier rounds.
+
+All cached values are produced by exactly the same functions the
+un-contexted code paths call (``euclidean``, ``build_charging_graph``,
+``maximal_independent_set``, ``coverage_sets`` semantics,
+``build_auxiliary_graph``, ``solve_k_minmax_tours``), so schedules
+built through a context are byte-identical to schedules built without
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import networkx as nx
+
+from repro.energy.charging import ChargerSpec, full_charge_time
+from repro.geometry.distcache import DistanceCache
+from repro.geometry.grid_index import GridIndex
+from repro.graphs.auxiliary import build_auxiliary_graph
+from repro.graphs.mis import maximal_independent_set
+from repro.graphs.unit_disk import build_charging_graph
+from repro.network.topology import WRSN
+from repro.tours.kminmax import solve_k_minmax_tours
+
+#: Per-network shared distance caches. Positions are static for the
+#: lifetime of a WRSN, so every context on the same network — across
+#: simulation rounds, planners and ``K`` values — can share one cache.
+_SHARED_DISTANCES: "WeakKeyDictionary[WRSN, DistanceCache]" = (
+    WeakKeyDictionary()
+)
+
+
+def shared_distance_cache(network: WRSN) -> DistanceCache:
+    """The process-wide distance cache for ``network`` (created once)."""
+    cache = _SHARED_DISTANCES.get(network)
+    if cache is None:
+        cache = DistanceCache(network.positions(), network.depot.position)
+        _SHARED_DISTANCES[network] = cache
+    return cache
+
+
+class PlanningContext:
+    """Lazily-computed, memoized planning state for one workload.
+
+    Args:
+        network: the WRSN instance (positions, batteries, depot).
+        request_ids: the to-be-charged set ``V_s``.
+        charger: MCV parameters; the paper defaults when omitted.
+        share_distances: reuse the per-network process-wide distance
+            cache (on by default); disable for isolated measurements.
+
+    Raises:
+        ValueError: when a request id is absent from the network.
+    """
+
+    def __init__(
+        self,
+        network: WRSN,
+        request_ids: Sequence[int],
+        charger: Optional[ChargerSpec] = None,
+        share_distances: bool = True,
+    ):
+        self.network = network
+        self.requests: Tuple[int, ...] = tuple(sorted(set(request_ids)))
+        unknown = [r for r in self.requests if r not in network]
+        if unknown:
+            raise ValueError(f"request ids not in the network: {unknown}")
+        self.charger = charger if charger is not None else ChargerSpec()
+        self.positions = network.positions()
+        self.depot = network.depot.position
+        self.distance: DistanceCache = (
+            shared_distance_cache(network)
+            if share_distances
+            else DistanceCache(self.positions, self.depot)
+        )
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._charge_times: Dict[int, float] = {}
+        self._charging_graph: Optional[nx.Graph] = None
+        self._grid_index: Optional[GridIndex] = None
+        self._coverage: Dict[int, FrozenSet[int]] = {}
+        self._mis: Dict[Tuple[str, int], List[int]] = {}
+        self._aux: Dict[Tuple[str, int], nx.Graph] = {}
+        self._core: Dict[Tuple[str, int], List[int]] = {}
+        self._minmax: Dict[Any, Tuple[List[List[int]], float]] = {}
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+
+    def validate_for(
+        self,
+        network: WRSN,
+        requests: Sequence[int],
+        charger: ChargerSpec,
+    ) -> None:
+        """Check that a planner call matches this context's workload.
+
+        Raises:
+            ValueError: when the network, request set or charger the
+                planner was invoked with differ from the ones this
+                context memoized its state for.
+        """
+        if network is not self.network:
+            raise ValueError(
+                "PlanningContext was built for a different network instance"
+            )
+        if tuple(sorted(set(requests))) != self.requests:
+            raise ValueError(
+                "PlanningContext was built for a different request set"
+            )
+        if charger != self.charger:
+            raise ValueError(
+                "PlanningContext was built for a different ChargerSpec"
+            )
+
+    # ------------------------------------------------------------------
+    # Charge times (Eq. 1)
+    # ------------------------------------------------------------------
+
+    def charge_time(self, sensor_id: int) -> float:
+        """Memoized Eq. (1) full-charge time of one sensor."""
+        cached = self._charge_times.get(sensor_id)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        sensor = self.network.sensor(sensor_id)
+        value = full_charge_time(
+            sensor.capacity_j, sensor.residual_j, self.charger.charge_rate_w
+        )
+        self._charge_times[sensor_id] = value
+        return value
+
+    def charge_times_for(self, sensor_ids: Sequence[int]) -> Dict[int, float]:
+        """Eq. (1) full-charge time per sensor, as a fresh dict."""
+        return {sid: self.charge_time(sid) for sid in sensor_ids}
+
+    # ------------------------------------------------------------------
+    # Graph structures (steps 1-4 of Algorithm 1)
+    # ------------------------------------------------------------------
+
+    @property
+    def charging_graph(self) -> nx.Graph:
+        """``G_c``: the unit-disk charging graph over the request set."""
+        if self._charging_graph is None:
+            self.memo_misses += 1
+            self._charging_graph = build_charging_graph(
+                self.positions,
+                self.charger.charge_radius_m,
+                nodes=list(self.requests),
+            )
+        else:
+            self.memo_hits += 1
+        return self._charging_graph
+
+    @property
+    def grid_index(self) -> GridIndex:
+        """Grid index over the request positions, cell = ``γ``."""
+        if self._grid_index is None:
+            self.memo_misses += 1
+            self._grid_index = GridIndex(
+                {t: self.positions[t] for t in self.requests},
+                cell_size=self.charger.charge_radius_m,
+            )
+        else:
+            self.memo_hits += 1
+        return self._grid_index
+
+    def sojourn_candidates(
+        self, mis_strategy: str = "min_degree", seed: int = 0
+    ) -> List[int]:
+        """The MIS ``S_I`` of ``G_c`` (memoized per strategy/seed)."""
+        key = (mis_strategy, seed)
+        cached = self._mis.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return list(cached)
+        self.memo_misses += 1
+        result = maximal_independent_set(
+            self.charging_graph, strategy=mis_strategy, seed=seed
+        )
+        self._mis[key] = result
+        return list(result)
+
+    def coverage_for(
+        self, candidates: Sequence[int]
+    ) -> Dict[int, FrozenSet[int]]:
+        """``N_c⁺(v)`` per candidate, memoized per candidate.
+
+        Matches :func:`repro.graphs.coverage.coverage_sets` with the
+        request set as targets: the requested sensors within the
+        charging radius of the candidate's disk, plus the candidate
+        itself.
+        """
+        out: Dict[int, FrozenSet[int]] = {}
+        radius_m = self.charger.charge_radius_m
+        for cand in candidates:
+            cached = self._coverage.get(cand)
+            if cached is not None:
+                self.memo_hits += 1
+                out[cand] = cached
+                continue
+            self.memo_misses += 1
+            covered = set(
+                self.grid_index.within(self.positions[cand], radius_m)
+            )
+            covered.add(cand)
+            frozen = frozenset(covered)
+            self._coverage[cand] = frozen
+            out[cand] = frozen
+        return out
+
+    def auxiliary_graph(
+        self, mis_strategy: str = "min_degree", seed: int = 0
+    ) -> nx.Graph:
+        """The conflict graph ``H`` over ``S_I`` (memoized)."""
+        key = (mis_strategy, seed)
+        cached = self._aux.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        candidates = self.sojourn_candidates(mis_strategy, seed)
+        graph = build_auxiliary_graph(
+            candidates,
+            self.coverage_for(candidates),
+            self.positions,
+            self.charger.charge_radius_m,
+        )
+        self._aux[key] = graph
+        return graph
+
+    def conflict_free_core(
+        self, mis_strategy: str = "min_degree", seed: int = 0
+    ) -> List[int]:
+        """The MIS ``V'_H`` of ``H`` (memoized per strategy/seed)."""
+        key = (mis_strategy, seed)
+        cached = self._core.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return list(cached)
+        self.memo_misses += 1
+        result = maximal_independent_set(
+            self.auxiliary_graph(mis_strategy, seed),
+            strategy=mis_strategy,
+            seed=seed,
+        )
+        self._core[key] = result
+        return list(result)
+
+    # ------------------------------------------------------------------
+    # Min-max tours (step 5 / the K-minMax baseline)
+    # ------------------------------------------------------------------
+
+    def minmax_tours(
+        self,
+        nodes: Sequence[int],
+        num_tours: int,
+        service: Mapping[int, float],
+        tsp_method: str = "christofides",
+        improve: bool = True,
+    ) -> Tuple[List[List[int]], float]:
+        """Memoized ``K``-min-max tour cover of ``nodes``.
+
+        The memo key includes the node order, ``K``, the construction
+        method and every service weight, so any change in the inputs
+        falls through to :func:`repro.tours.kminmax.solve_k_minmax_tours`
+        (which itself draws distances from the shared cache).
+        """
+        node_tuple = tuple(nodes)
+        key = (
+            node_tuple,
+            num_tours,
+            tsp_method,
+            improve,
+            tuple(service[v] for v in node_tuple),
+        )
+        cached = self._minmax.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            tours, delay = cached
+        else:
+            self.memo_misses += 1
+            tours, delay = solve_k_minmax_tours(
+                list(node_tuple),
+                self.positions,
+                self.depot,
+                num_tours,
+                self.charger.travel_speed_mps,
+                service=lambda v: service[v],
+                tsp_method=tsp_method,
+                improve=improve,
+                dist=self.distance,
+            )
+            self._minmax[key] = (tours, delay)
+        # Callers mutate tour lists (appending stops), so hand out
+        # copies and keep the memoized solution pristine.
+        return [list(tour) for tour in tours], delay
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Memo and distance-cache counters, for benchmarks and the CLI."""
+        return {
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "minmax_solutions": len(self._minmax),
+            "coverage_entries": len(self._coverage),
+            **{
+                f"distance_{k}": v for k, v in self.distance.stats().items()
+            },
+        }
+
+
+__all__ = ["PlanningContext", "shared_distance_cache"]

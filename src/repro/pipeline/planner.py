@@ -1,0 +1,240 @@
+"""Planner protocol, registry and the unified reporting surface.
+
+The paper's algorithm and the four baselines historically returned two
+different types — :class:`~repro.core.schedule.ChargingSchedule` for
+multi-node planners and
+:class:`~repro.baselines.common.BaselineSchedule` for one-to-one ones —
+and every consumer (simulator, benchmark harness, CLI) dispatched on
+the concrete type. The pipeline layer re-homes all of them as named
+:class:`PlannerInfo` entries producing a :class:`PlannedSchedule`: a
+transparent wrapper exposing the common reporting surface
+(``longest_delay``, ``tour_delays``, ``sensor_finish_times``,
+``covered_sensors``, ``validate``) while delegating everything else to
+the wrapped schedule, so type-specific code keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+)
+
+from repro.core.validation import ScheduleViolation, validate_schedule
+from repro.energy.charging import ChargerSpec
+from repro.network.topology import WRSN
+from repro.pipeline.context import PlanningContext
+
+
+class Planner(Protocol):
+    """The uniform planner call every registered algorithm satisfies."""
+
+    def __call__(
+        self,
+        network: WRSN,
+        request_ids: Sequence[int],
+        num_chargers: int,
+        charger: Optional[ChargerSpec] = None,
+        lifetimes: Optional[Mapping[int, float]] = None,
+        context: Optional[PlanningContext] = None,
+        **kwargs: Any,
+    ) -> Any:
+        ...
+
+
+@dataclass(frozen=True)
+class PlannerInfo:
+    """One registered planning algorithm.
+
+    Attributes:
+        name: registry key (also the CLI / bench display name).
+        build: the uniform planner callable.
+        multi_node: whether the planner charges multiple sensors per
+            sojourn stop (produces a ``ChargingSchedule``).
+        paper: whether the algorithm is one of the paper's five
+            (``Appro`` plus the four benchmarks); extension planners
+            are excluded from paper-comparison surfaces.
+    """
+
+    name: str
+    build: Planner
+    multi_node: bool
+    paper: bool = True
+
+
+_REGISTRY: Dict[str, PlannerInfo] = {}
+
+
+def register_planner(info: PlannerInfo) -> PlannerInfo:
+    """Add a planner to the registry.
+
+    Raises:
+        ValueError: on a duplicate name.
+    """
+    if info.name in _REGISTRY:
+        raise ValueError(f"planner {info.name!r} is already registered")
+    _REGISTRY[info.name] = info
+    return info
+
+
+def get_planner(name: str) -> PlannerInfo:
+    """Look up a registered planner.
+
+    Raises:
+        KeyError: for unknown names, listing the known ones.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown planner {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def planner_names(paper_only: bool = False) -> List[str]:
+    """Registered planner names, in registration order."""
+    return [
+        name
+        for name, info in _REGISTRY.items()
+        if info.paper or not paper_only
+    ]
+
+
+class PlannedSchedule:
+    """A planner's result behind the unified reporting surface.
+
+    Wraps either a ``ChargingSchedule`` or a ``BaselineSchedule``
+    (``raw``); attribute access falls through to the wrapped object, so
+    existing type-specific consumers (``io.schedule_to_dict``, the
+    fault executor, schedule repair) keep working on ``raw`` — or on
+    the wrapper itself, transparently.
+    """
+
+    def __init__(
+        self,
+        planner: str,
+        raw: Any,
+        multi_node: bool,
+        context: Optional[PlanningContext] = None,
+    ):
+        self.planner = planner
+        self.raw = raw
+        self.multi_node = multi_node
+        self.context = context
+
+    # --- unified reporting surface -----------------------------------
+
+    def longest_delay(self) -> float:
+        """The objective: the longest tour delay, seconds."""
+        return self.raw.longest_delay()
+
+    def tour_delays(self) -> List[float]:
+        """Per-MCV tour delay, seconds."""
+        return self.raw.tour_delays()
+
+    def sensor_finish_times(self) -> Dict[int, float]:
+        """Charge-completion time per served sensor."""
+        return self.raw.sensor_finish_times()
+
+    def covered_sensors(self) -> Set[int]:
+        """All sensors the schedule serves."""
+        if self.multi_node:
+            return set(self.raw.covered_sensors())
+        return set(self.raw.visited_sensors())
+
+    @property
+    def num_tours(self) -> int:
+        return self.raw.num_tours
+
+    def validate(
+        self, required_sensors: Sequence[int]
+    ) -> List[ScheduleViolation]:
+        """Feasibility violations against ``required_sensors``.
+
+        Multi-node schedules run the full Definition 1 validator;
+        one-to-one schedules can only violate coverage (each visit
+        charges exactly one sensor at its own location).
+        """
+        if self.multi_node:
+            return validate_schedule(self.raw, required_sensors)
+        missing = sorted(set(required_sensors) - self.covered_sensors())
+        return [
+            ScheduleViolation(
+                kind="coverage",
+                detail=f"sensor {sid} is never visited",
+                nodes=(sid,),
+            )
+            for sid in missing
+        ]
+
+    # --- transparency ------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called when normal lookup fails: delegate to the
+        # wrapped schedule so type-specific consumers keep working.
+        if name == "raw":  # guard against recursion mid-construction
+            raise AttributeError(name)
+        return getattr(self.raw, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlannedSchedule(planner={self.planner!r}, "
+            f"raw={type(self.raw).__name__}, "
+            f"multi_node={self.multi_node})"
+        )
+
+
+def run_planner(
+    name: str,
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> PlannedSchedule:
+    """Run a registered planner through the unified pipeline.
+
+    Builds a :class:`PlanningContext` when none is supplied (its lazy
+    memos cost nothing until used, and its distance cache is shared per
+    network), passes it to the planner and wraps the result.
+    """
+    info = get_planner(name)
+    if context is None:
+        context = PlanningContext(network, request_ids, charger)
+    elif charger is not None and charger != context.charger:
+        raise ValueError(
+            "charger differs from the supplied context's ChargerSpec"
+        )
+    raw = info.build(
+        network,
+        request_ids,
+        num_chargers,
+        charger=context.charger,
+        lifetimes=lifetimes,
+        context=context,
+        **kwargs,
+    )
+    return PlannedSchedule(
+        planner=name, raw=raw, multi_node=info.multi_node, context=context
+    )
+
+
+__all__ = [
+    "PlannedSchedule",
+    "Planner",
+    "PlannerInfo",
+    "get_planner",
+    "planner_names",
+    "register_planner",
+    "run_planner",
+]

@@ -1,0 +1,160 @@
+"""The registered planners: ``Appro``, the paper's four benchmarks,
+and the ``GreedyCover`` extension.
+
+Each adapter normalises its algorithm's native signature to the
+uniform :class:`~repro.pipeline.planner.Planner` call. Registration
+order matters: it is the display order of every comparison surface
+(``repro.sim.scenario.ALGORITHMS``, the CLI, the bench harness), so
+the paper's five come first, extensions after.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.baselines.aa import aa_schedule
+from repro.baselines.common import BaselineSchedule
+from repro.baselines.greedy_cover import greedy_cover_schedule
+from repro.baselines.kedf import kedf_schedule
+from repro.baselines.kminmax_baseline import kminmax_baseline_schedule
+from repro.baselines.netwrap import netwrap_schedule
+from repro.core.appro import appro_schedule
+from repro.core.schedule import ChargingSchedule
+from repro.energy.charging import ChargerSpec
+from repro.network.topology import WRSN
+from repro.pipeline.context import PlanningContext
+from repro.pipeline.planner import PlannerInfo, register_planner
+
+
+def _appro(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> ChargingSchedule:
+    # Appro schedules from charge deficits, not lifetimes.
+    return appro_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        context=context,
+        **kwargs,
+    )
+
+
+def _kedf(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> BaselineSchedule:
+    return kedf_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        lifetimes=lifetimes,
+        context=context,
+        **kwargs,
+    )
+
+
+def _netwrap(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> BaselineSchedule:
+    return netwrap_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        lifetimes=lifetimes,
+        context=context,
+        **kwargs,
+    )
+
+
+def _aa(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> BaselineSchedule:
+    # AA clusters geometrically; lifetimes do not enter.
+    kwargs.setdefault("seed", 0)
+    return aa_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        context=context,
+        **kwargs,
+    )
+
+
+def _kminmax(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> BaselineSchedule:
+    return kminmax_baseline_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        context=context,
+        **kwargs,
+    )
+
+
+def _greedy_cover(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> ChargingSchedule:
+    return greedy_cover_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        context=context,
+        **kwargs,
+    )
+
+
+# The paper's five, in the paper's presentation order, then extensions.
+register_planner(PlannerInfo(name="Appro", build=_appro, multi_node=True))
+register_planner(PlannerInfo(name="K-EDF", build=_kedf, multi_node=False))
+register_planner(PlannerInfo(name="NETWRAP", build=_netwrap, multi_node=False))
+register_planner(PlannerInfo(name="AA", build=_aa, multi_node=False))
+register_planner(
+    PlannerInfo(name="K-minMax", build=_kminmax, multi_node=False)
+)
+register_planner(
+    PlannerInfo(
+        name="GreedyCover", build=_greedy_cover, multi_node=True, paper=False
+    )
+)

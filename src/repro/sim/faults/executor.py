@@ -31,7 +31,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.baselines.common import BaselineSchedule, Visit
 from repro.core.repair import RepairConfig, RepairOutcome, repair_schedule
 from repro.core.schedule import ChargingSchedule
-from repro.geometry.distance import euclidean
 from repro.sim.faults.specs import NO_FAULTS, RoundFaults
 from repro.sim.faults.timeline import (
     overlapping_cross_pairs,
@@ -89,9 +88,10 @@ def execute_with_faults(
 
     Args:
         result: a :class:`ChargingSchedule` or
-            :class:`BaselineSchedule` (anything else raises
-            ``TypeError``). Never mutated — breakdown repair runs on a
-            copy.
+            :class:`BaselineSchedule`, possibly wrapped in a
+            :class:`~repro.pipeline.planner.PlannedSchedule` (anything
+            else raises ``TypeError``). Never mutated — breakdown
+            repair runs on a copy.
         faults: the round's fault draw.
         repair_config: repair tuning; the draw's communication delay is
             layered on top of the config's notification delay.
@@ -99,6 +99,7 @@ def execute_with_faults(
     Returns:
         The :class:`FaultyOutcome`.
     """
+    result = getattr(result, "raw", result)
     if isinstance(result, ChargingSchedule):
         return _execute_schedule(result, faults, repair_config)
     if isinstance(result, BaselineSchedule):
@@ -204,18 +205,20 @@ def _execute_baseline(
 
     speed = baseline.charger.travel_speed_mps
 
-    def travel(a, b) -> float:
-        return euclidean(a, b) / speed * faults.travel_factor
+    def travel(a: Optional[int], b: Optional[int]) -> float:
+        # Labels, not points: ``None`` is the depot; distances come
+        # from the schedule's shared cache.
+        return baseline.distance(a, b) / speed * faults.travel_factor
 
     # Replay each itinerary with factors; collect the failed vehicle's
     # orphans (cut on the planned timeline: anything not finished when
     # the vehicle died must be redone).
     clocks: List[float] = []
-    heres = []
+    heres: List[Optional[int]] = []
     orphans: List[Visit] = []
     for k, itinerary in enumerate(baseline.itineraries):
         clock = 0.0
-        here = baseline.depot
+        here: Optional[int] = None
         for i, visit in enumerate(itinerary):
             if (
                 failed_vehicle == k
@@ -224,14 +227,13 @@ def _execute_baseline(
             ):
                 orphans.append(visit)
                 continue
-            there = baseline.positions[visit.sensor_id]
-            clock += travel(here, there)
+            clock += travel(here, visit.sensor_id)
             duration = visit.duration_s * faults.charge_factor
             if paused == (k, i):
                 duration += faults.interruption_pause_s
             clock += duration
             outcome.sensor_finish_s[visit.sensor_id] = clock
-            here = there
+            here = visit.sensor_id
         clocks.append(clock)
         heres.append(here)
 
@@ -249,12 +251,13 @@ def _execute_baseline(
             effective = (failure_time or 0.0) + faults.comm_delay_s
             for visit in sorted(orphans, key=lambda v: v.arrival_s):
                 k = min(survivors, key=lambda s: (clocks[s], s))
-                there = baseline.positions[visit.sensor_id]
-                clock = max(clocks[k], effective) + travel(heres[k], there)
+                clock = max(clocks[k], effective) + travel(
+                    heres[k], visit.sensor_id
+                )
                 clock += visit.duration_s * faults.charge_factor
                 outcome.sensor_finish_s[visit.sensor_id] = clock
                 clocks[k] = clock
-                heres[k] = there
+                heres[k] = visit.sensor_id
                 outcome.repairs += 1
 
     # Realized longest delay: each vehicle returns to the depot. The
@@ -264,7 +267,7 @@ def _execute_baseline(
         if failed_vehicle == k:
             realized = max(realized, failure_time or 0.0)
             continue
-        back = travel(heres[k], baseline.depot) if clocks[k] > 0 else 0.0
+        back = travel(heres[k], None) if clocks[k] > 0 else 0.0
         realized = max(realized, clocks[k] + back)
     outcome.realized_delay_s = realized
     return outcome

@@ -8,21 +8,22 @@ algorithm as one callable::
 
 :data:`ALGORITHMS` registers the five algorithms of the paper under
 their figure-legend names: ``Appro``, ``K-EDF``, ``NETWRAP``, ``AA``
-and ``K-minMax``.
+and ``K-minMax``. Since the planner-pipeline refactor this module is a
+thin view over :mod:`repro.pipeline`: each entry's ``run`` is
+:func:`repro.pipeline.run_planner` bound to one registered planner, so
+simulator results are :class:`~repro.pipeline.planner.PlannedSchedule`
+wrappers (transparent proxies over the underlying schedules).
+Extension planners (e.g. ``GreedyCover``) stay out of this dict — it
+mirrors the paper's evaluation exactly.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Protocol, Sequence
+from typing import Callable, Dict, Protocol
 
-from repro.baselines.aa import aa_schedule
-from repro.baselines.kedf import kedf_schedule
-from repro.baselines.kminmax_baseline import kminmax_baseline_schedule
-from repro.baselines.netwrap import netwrap_schedule
-from repro.core.appro import appro_schedule
-from repro.energy.charging import ChargerSpec
-from repro.network.topology import WRSN
+from repro.pipeline.planner import get_planner, planner_names, run_planner
 
 
 class ScheduleResult(Protocol):
@@ -52,71 +53,18 @@ class AlgorithmSpec:
     multi_node: bool
 
 
-def _appro(
-    network: WRSN,
-    request_ids: Sequence[int],
-    num_chargers: int,
-    charger: Optional[ChargerSpec] = None,
-    lifetimes: Optional[Mapping[int, float]] = None,
-) -> ScheduleResult:
-    return appro_schedule(network, request_ids, num_chargers, charger=charger)
-
-
-def _kedf(
-    network: WRSN,
-    request_ids: Sequence[int],
-    num_chargers: int,
-    charger: Optional[ChargerSpec] = None,
-    lifetimes: Optional[Mapping[int, float]] = None,
-) -> ScheduleResult:
-    return kedf_schedule(
-        network, request_ids, num_chargers, charger=charger, lifetimes=lifetimes
-    )
-
-
-def _netwrap(
-    network: WRSN,
-    request_ids: Sequence[int],
-    num_chargers: int,
-    charger: Optional[ChargerSpec] = None,
-    lifetimes: Optional[Mapping[int, float]] = None,
-) -> ScheduleResult:
-    return netwrap_schedule(
-        network, request_ids, num_chargers, charger=charger, lifetimes=lifetimes
-    )
-
-
-def _aa(
-    network: WRSN,
-    request_ids: Sequence[int],
-    num_chargers: int,
-    charger: Optional[ChargerSpec] = None,
-    lifetimes: Optional[Mapping[int, float]] = None,
-) -> ScheduleResult:
-    return aa_schedule(
-        network, request_ids, num_chargers, charger=charger, seed=0
-    )
-
-
-def _kminmax(
-    network: WRSN,
-    request_ids: Sequence[int],
-    num_chargers: int,
-    charger: Optional[ChargerSpec] = None,
-    lifetimes: Optional[Mapping[int, float]] = None,
-) -> ScheduleResult:
-    return kminmax_baseline_schedule(
-        network, request_ids, num_chargers, charger=charger
+def _spec_for(name: str) -> AlgorithmSpec:
+    info = get_planner(name)
+    return AlgorithmSpec(
+        name=info.name,
+        run=functools.partial(run_planner, info.name),
+        multi_node=info.multi_node,
     )
 
 
 #: The five algorithms of the paper's evaluation, keyed by legend name.
 ALGORITHMS: Dict[str, AlgorithmSpec] = {
-    "Appro": AlgorithmSpec(name="Appro", run=_appro, multi_node=True),
-    "K-EDF": AlgorithmSpec(name="K-EDF", run=_kedf, multi_node=False),
-    "NETWRAP": AlgorithmSpec(name="NETWRAP", run=_netwrap, multi_node=False),
-    "AA": AlgorithmSpec(name="AA", run=_aa, multi_node=False),
-    "K-minMax": AlgorithmSpec(name="K-minMax", run=_kminmax, multi_node=False),
+    name: _spec_for(name) for name in planner_names(paper_only=True)
 }
 
 

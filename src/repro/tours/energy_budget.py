@@ -25,11 +25,14 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
 from repro.tours.splitting import segment_cost
 from repro.tours.tsp import build_tsp_order
 from repro.tours.improve import or_opt, two_opt
+
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Hashable, Hashable], float]
 
 
 @dataclass(frozen=True)
@@ -90,14 +93,17 @@ def tour_energy(
     depot: PointLike,
     model: MCVEnergyModel,
     service: Callable[[Hashable], float],
+    dist: Optional[DistanceFn] = None,
 ) -> float:
     """Energy one closed tour depot -> segment -> depot consumes."""
     if not segment:
         return 0.0
-    travel = euclidean(depot, positions[segment[0]])
+    if dist is None:
+        dist = DistanceCache(positions, depot)
+    travel = dist(None, segment[0])
     for a, b in zip(segment, segment[1:]):
-        travel += euclidean(positions[a], positions[b])
-    travel += euclidean(positions[segment[-1]], depot)
+        travel += dist(a, b)
+    travel += dist(segment[-1], None)
     charging = sum(service(v) for v in segment)
     return model.travel_energy(travel) + model.charging_energy(charging)
 
@@ -110,12 +116,15 @@ def _greedy_split_dual(
     speed_mps: float,
     service: Callable[[Hashable], float],
     model: MCVEnergyModel,
+    dist: Optional[DistanceFn] = None,
 ) -> Optional[List[List[Hashable]]]:
     """Greedy packing under both the delay bound and the battery.
 
     Returns ``None`` when some single node violates either constraint
     on its own.
     """
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     segments: List[List[Hashable]] = []
     current: List[Hashable] = []
     open_cost = 0.0       # delay without the return leg
@@ -130,10 +139,9 @@ def _greedy_split_dual(
         return cost <= delay_bound_s and energy <= model.battery_j
 
     for node in order:
-        leg_from = depot if last is None else positions[last]
-        leg = euclidean(leg_from, positions[node])
+        leg = dist(last, node)
         svc = service(node)
-        closing = euclidean(positions[node], depot)
+        closing = dist(node, None)
         candidate_cost = open_cost + leg / speed_mps + svc + closing / speed_mps
         candidate_travel = open_travel + leg + closing
         candidate_charge = open_charge + svc
@@ -144,7 +152,7 @@ def _greedy_split_dual(
             current = []
             open_cost = open_travel = open_charge = 0.0
             last = None
-            leg = euclidean(depot, positions[node])
+            leg = dist(None, node)
             candidate_cost = leg / speed_mps + svc + closing / speed_mps
             candidate_travel = leg + closing
             candidate_charge = svc
@@ -170,6 +178,7 @@ def split_tour_energy_constrained(
     speed_mps: float,
     service: Callable[[Hashable], float],
     model: MCVEnergyModel,
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[Optional[List[List[Hashable]]], float]:
     """Best energy-feasible consecutive split into ≤ ``num_tours``.
 
@@ -187,17 +196,19 @@ def split_tour_energy_constrained(
     order = list(order)
     if not order:
         return [[] for _ in range(num_tours)], 0.0
+    if dist is None:
+        dist = DistanceCache(positions, depot)
 
     low = max(
-        segment_cost([node], positions, depot, speed_mps, service)
+        segment_cost([node], positions, depot, speed_mps, service, dist)
         for node in order
     )
-    high = segment_cost(order, positions, depot, speed_mps, service)
+    high = segment_cost(order, positions, depot, speed_mps, service, dist)
 
     def feasible(bound: float) -> Optional[List[List[Hashable]]]:
         slack = bound * (1.0 + 1e-12) + 1e-9
         segs = _greedy_split_dual(
-            order, slack, positions, depot, speed_mps, service, model
+            order, slack, positions, depot, speed_mps, service, model, dist
         )
         if segs is None or len(segs) > num_tours:
             return None
@@ -220,7 +231,7 @@ def split_tour_energy_constrained(
                 high = mid
                 best = segs
     achieved = max(
-        segment_cost(seg, positions, depot, speed_mps, service)
+        segment_cost(seg, positions, depot, speed_mps, service, dist)
         for seg in best
         if seg
     )
@@ -238,20 +249,23 @@ def solve_k_minmax_energy_constrained(
     service: Callable[[Hashable], float],
     model: MCVEnergyModel,
     tsp_method: str = "christofides",
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[Optional[List[List[Hashable]]], float]:
     """Energy-feasible min-max K tours (backbone + constrained split)."""
     node_list = list(nodes)
     if not node_list:
         return [[] for _ in range(num_tours)], 0.0
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     method = tsp_method
     if method == "christofides" and len(node_list) > 250:
         method = "greedy_edge"
-    order = build_tsp_order(node_list, positions, depot, method=method)
+    order = build_tsp_order(node_list, positions, depot, method=method, dist=dist)
     if 3 <= len(order) <= 600:
-        order = two_opt(order, positions, depot)
-        order = or_opt(order, positions, depot)
+        order = two_opt(order, positions, depot, dist=dist)
+        order = or_opt(order, positions, depot, dist=dist)
     return split_tour_energy_constrained(
-        order, num_tours, positions, depot, speed_mps, service, model
+        order, num_tours, positions, depot, speed_mps, service, model, dist
     )
 
 
@@ -264,6 +278,7 @@ def minimum_chargers_energy_constrained(
     model: MCVEnergyModel,
     delay_bound_s: float = math.inf,
     max_chargers: int = 128,
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[Optional[int], Optional[List[List[Hashable]]]]:
     """Fewest vehicles whose tours all fit the battery (and bound).
 
@@ -275,17 +290,22 @@ def minimum_chargers_energy_constrained(
     node_list = list(nodes)
     if not node_list:
         return 0, []
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     for node in node_list:
         if (
-            tour_energy([node], positions, depot, model, service)
+            tour_energy([node], positions, depot, model, service, dist)
             > model.battery_j
-            or segment_cost([node], positions, depot, speed_mps, service)
+            or segment_cost(
+                [node], positions, depot, speed_mps, service, dist
+            )
             > delay_bound_s
         ):
             return None, None
     def attempt(k: int):
         tours, achieved = solve_k_minmax_energy_constrained(
-            node_list, positions, depot, k, speed_mps, service, model
+            node_list, positions, depot, k, speed_mps, service, model,
+            dist=dist,
         )
         if tours is not None and achieved <= delay_bound_s:
             return tours

@@ -21,20 +21,33 @@ from __future__ import annotations
 import itertools
 import math
 from functools import lru_cache
-from typing import Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
 
 #: Hard limits: beyond these sizes the exact solvers refuse to run.
 MAX_TSP_NODES = 15
 MAX_PARTITION_NODES = 10
 
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Hashable, Hashable], float]
+
 
 def held_karp_tsp(
     nodes: Sequence[Hashable],
     positions: Mapping[Hashable, PointLike],
     depot: PointLike,
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[List[Hashable], float]:
     """Optimal depot-rooted closed tour (travel length) by Held–Karp.
 
@@ -53,15 +66,14 @@ def held_karp_tsp(
         )
     if n == 0:
         return [], 0.0
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     if n == 1:
-        d = euclidean(depot, positions[node_list[0]])
+        d = dist(None, node_list[0])
         return [node_list[0]], 2.0 * d
 
-    dist_depot = [euclidean(depot, positions[v]) for v in node_list]
-    dist = [
-        [euclidean(positions[a], positions[b]) for b in node_list]
-        for a in node_list
-    ]
+    dist_depot = [dist(None, v) for v in node_list]
+    dist_m = [[dist(a, b) for b in node_list] for a in node_list]
 
     # dp[(mask, j)] = (cost of best path depot -> ... -> j over mask,
     #                  predecessor j')
@@ -79,7 +91,7 @@ def held_karp_tsp(
                 if mask & (1 << k):
                     continue
                 new_mask = mask | (1 << k)
-                cand = base_cost + dist[j][k]
+                cand = base_cost + dist_m[j][k]
                 if (new_mask, k) not in dp or cand < dp[(new_mask, k)][0]:
                     dp[(new_mask, k)] = (cand, j)
 
@@ -111,6 +123,7 @@ def exact_k_minmax(
     num_tours: int,
     speed_mps: float,
     service: Callable[[Hashable], float],
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[List[List[Hashable]], float]:
     """Optimal min-max K-tour cover of a small node set.
 
@@ -137,6 +150,8 @@ def exact_k_minmax(
         )
     if n == 0:
         return [[] for _ in range(num_tours)], 0.0
+    if dist is None:
+        dist = DistanceCache(positions, depot)
 
     index_of = {v: i for i, v in enumerate(node_list)}
 
@@ -145,7 +160,7 @@ def exact_k_minmax(
         subset = [node_list[i] for i in range(n) if mask & (1 << i)]
         if not subset:
             return 0.0
-        _, travel = held_karp_tsp(subset, positions, depot)
+        _, travel = held_karp_tsp(subset, positions, depot, dist)
         return travel / speed_mps + sum(service(v) for v in subset)
 
     best_value = math.inf
@@ -168,7 +183,7 @@ def exact_k_minmax(
     for m in masks:
         subset = [node_list[i] for i in range(n) if m & (1 << i)]
         if subset:
-            order, _ = held_karp_tsp(subset, positions, depot)
+            order, _ = held_karp_tsp(subset, positions, depot, dist)
             tours.append(order)
         else:
             tours.append([])

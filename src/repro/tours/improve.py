@@ -8,21 +8,21 @@ strictly better for every delay objective in this library.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Mapping, Sequence
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence
 
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
+
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Hashable, Hashable], float]
 
 
 def _dist_fn(
-    positions: Mapping[Hashable, PointLike], depot: PointLike
-) -> Callable[[object, object], float]:
-    def dist(a: object, b: object) -> float:
-        pa = depot if a is None else positions[a]
-        pb = depot if b is None else positions[b]
-        return euclidean(pa, pb)
-
-    return dist
+    positions: Mapping[Hashable, PointLike],
+    depot: PointLike,
+    dist: Optional[DistanceFn] = None,
+) -> DistanceFn:
+    return dist if dist is not None else DistanceCache(positions, depot)
 
 
 def _cycle_length(order: Sequence[Hashable], dist) -> float:
@@ -41,6 +41,7 @@ def two_opt(
     depot: PointLike,
     max_rounds: int = 30,
     min_gain: float = 1e-9,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """First-improvement 2-opt on a depot-rooted cycle.
 
@@ -53,7 +54,7 @@ def two_opt(
     n = len(current)
     if n < 3:
         return current
-    dist = _dist_fn(positions, depot)
+    dist = _dist_fn(positions, depot, dist)
     # Treat the cycle as depot(None), v0, ..., v_{n-1}, depot(None).
     for _ in range(max_rounds):
         improved = False
@@ -78,6 +79,7 @@ def or_opt(
     segment_lengths: Sequence[int] = (1, 2, 3),
     max_rounds: int = 10,
     min_gain: float = 1e-9,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """Or-opt: relocate short segments to better positions in the cycle.
 
@@ -85,7 +87,7 @@ def or_opt(
     Returns a new order; the input is not mutated.
     """
     current = list(order)
-    dist = _dist_fn(positions, depot)
+    dist = _dist_fn(positions, depot, dist)
     for _ in range(max_rounds):
         improved = False
         for seg_len in segment_lengths:
@@ -132,6 +134,7 @@ def cycle_travel_length(
     order: Sequence[Hashable],
     positions: Mapping[Hashable, PointLike],
     depot: PointLike,
+    dist: Optional[DistanceFn] = None,
 ) -> float:
     """Travel length of the depot-rooted cycle through ``order``."""
-    return _cycle_length(order, _dist_fn(positions, depot))
+    return _cycle_length(order, _dist_fn(positions, depot, dist))

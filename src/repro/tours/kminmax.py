@@ -22,12 +22,16 @@ ratio symbolically).
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Mapping, Sequence, Tuple
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
 from repro.tours.improve import or_opt, two_opt
 from repro.tours.splitting import split_tour_min_max
 from repro.tours.tsp import build_tsp_order
+
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Hashable, Hashable], float]
 
 #: Above this instance size, Christofides (cubic matching) falls back
 #: to the greedy-edge construction, and local search is skipped above
@@ -46,6 +50,7 @@ def solve_k_minmax_tours(
     service: Callable[[Hashable], float],
     tsp_method: str = "christofides",
     improve: bool = True,
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[List[List[Hashable]], float]:
     """Approximate the ``K``-optimal closed tour problem.
 
@@ -59,6 +64,8 @@ def solve_k_minmax_tours(
         tsp_method: construction for the backbone tour (see
             :func:`repro.tours.tsp.build_tsp_order`).
         improve: run 2-opt + Or-opt on the backbone before splitting.
+        dist: optional shared distance lookup (``None`` label = depot);
+            one cache is created per call when omitted.
 
     Returns:
         ``(tours, longest_delay)`` — exactly ``num_tours`` visit lists
@@ -69,13 +76,15 @@ def solve_k_minmax_tours(
     node_list = list(nodes)
     if not node_list:
         return [[] for _ in range(num_tours)], 0.0
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     method = tsp_method
     if method == "christofides" and len(node_list) > _CHRISTOFIDES_MAX_NODES:
         method = "greedy_edge"
-    order = build_tsp_order(node_list, positions, depot, method=method)
+    order = build_tsp_order(node_list, positions, depot, method=method, dist=dist)
     if improve and 3 <= len(order) <= _IMPROVE_MAX_NODES:
-        order = two_opt(order, positions, depot)
-        order = or_opt(order, positions, depot)
+        order = two_opt(order, positions, depot, dist=dist)
+        order = or_opt(order, positions, depot, dist=dist)
     return split_tour_min_max(
-        order, num_tours, positions, depot, speed_mps, service
+        order, num_tours, positions, depot, speed_mps, service, dist
     )

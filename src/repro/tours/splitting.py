@@ -24,12 +24,15 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
 
 #: Relative tolerance at which the binary search over ``B`` stops.
 _BINARY_SEARCH_REL_TOL = 1e-9
 _BINARY_SEARCH_MAX_ITER = 100
+
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Hashable, Hashable], float]
 
 
 def segment_cost(
@@ -38,14 +41,17 @@ def segment_cost(
     depot: PointLike,
     speed_mps: float,
     service: Callable[[Hashable], float],
+    dist: Optional[DistanceFn] = None,
 ) -> float:
     """Delay of one closed tour depot -> segment -> depot."""
     if not segment:
         return 0.0
-    travel = euclidean(depot, positions[segment[0]])
+    if dist is None:
+        dist = DistanceCache(positions, depot)
+    travel = dist(None, segment[0])
     for a, b in zip(segment, segment[1:]):
-        travel += euclidean(positions[a], positions[b])
-    travel += euclidean(positions[segment[-1]], depot)
+        travel += dist(a, b)
+    travel += dist(segment[-1], None)
     return travel / speed_mps + sum(service(v) for v in segment)
 
 
@@ -56,6 +62,7 @@ def greedy_split_with_bound(
     depot: PointLike,
     speed_mps: float,
     service: Callable[[Hashable], float],
+    dist: Optional[DistanceFn] = None,
 ) -> Optional[List[List[Hashable]]]:
     """Greedily cut ``order`` into segments of cost ≤ ``bound``.
 
@@ -63,6 +70,8 @@ def greedy_split_with_bound(
     already exceeds the bound (no feasible split exists for any number
     of vehicles).
     """
+    if dist is None:
+        dist = DistanceCache(positions, depot)
     segments: List[List[Hashable]] = []
     current: List[Hashable] = []
     # Cost of the current segment *without* the return-to-depot leg.
@@ -70,22 +79,15 @@ def greedy_split_with_bound(
     last: Optional[Hashable] = None
 
     for node in order:
-        leg_from = depot if last is None else positions[last]
-        step = (
-            euclidean(leg_from, positions[node]) / speed_mps + service(node)
-        )
-        closing = euclidean(positions[node], depot) / speed_mps
+        step = dist(last, node) / speed_mps + service(node)
+        closing = dist(node, None) / speed_mps
         if current and open_cost + step + closing > bound:
             # Close the current segment before this node.
             segments.append(current)
             current = []
             last = None
             open_cost = 0.0
-            leg_from = depot
-            step = (
-                euclidean(leg_from, positions[node]) / speed_mps
-                + service(node)
-            )
+            step = dist(None, node) / speed_mps + service(node)
         if not current and step + closing > bound:
             return None  # single node infeasible under this bound
         current.append(node)
@@ -103,6 +105,7 @@ def split_tour_min_max(
     depot: PointLike,
     speed_mps: float,
     service: Callable[[Hashable], float],
+    dist: Optional[DistanceFn] = None,
 ) -> Tuple[List[List[Hashable]], float]:
     """Best consecutive split of ``order`` into ≤ ``num_tours`` segments.
 
@@ -123,10 +126,12 @@ def split_tour_min_max(
     order = list(order)
     if not order:
         return [[] for _ in range(num_tours)], 0.0
+    if dist is None:
+        dist = DistanceCache(positions, depot)
 
     def max_cost(segments: Sequence[Sequence[Hashable]]) -> float:
         return max(
-            segment_cost(seg, positions, depot, speed_mps, service)
+            segment_cost(seg, positions, depot, speed_mps, service, dist)
             for seg in segments
             if seg
         )
@@ -134,10 +139,10 @@ def split_tour_min_max(
     # Lower bound: the costliest single-node round trip. Upper bound:
     # the whole order as one segment.
     low = max(
-        segment_cost([node], positions, depot, speed_mps, service)
+        segment_cost([node], positions, depot, speed_mps, service, dist)
         for node in order
     )
-    high = segment_cost(order, positions, depot, speed_mps, service)
+    high = segment_cost(order, positions, depot, speed_mps, service, dist)
 
     def feasible(bound: float) -> Optional[List[List[Hashable]]]:
         # Inflate the bound by a hair: the packer accumulates travel
@@ -145,7 +150,7 @@ def split_tour_min_max(
         # equality is not float-safe.
         slack = bound * (1.0 + 1e-12) + 1e-9
         segs = greedy_split_with_bound(
-            order, slack, positions, depot, speed_mps, service
+            order, slack, positions, depot, speed_mps, service, dist
         )
         if segs is None or len(segs) > num_tours:
             return None

@@ -9,10 +9,13 @@ edge *travel times* together give the tour delay of Eqs. (4)–(5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Hashable, Iterable, List, Mapping, Optional, Sequence
 
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import Point
+
+#: Pairwise distance lookup over node labels; ``None`` means the depot.
+DistanceFn = Callable[[Hashable, Hashable], float]
 
 
 @dataclass
@@ -67,15 +70,20 @@ class Tour:
         return idx
 
     def travel_length(
-        self, positions: Mapping[int, Point], depot: Point
+        self,
+        positions: Mapping[int, Point],
+        depot: Point,
+        dist: Optional[DistanceFn] = None,
     ) -> float:
         """Total travel distance depot -> stops -> depot, in metres."""
         if not self.stops:
             return 0.0
-        length = euclidean(depot, positions[self.stops[0]])
+        if dist is None:
+            dist = DistanceCache(positions, depot)
+        length = dist(None, self.stops[0])
         for a, b in zip(self.stops, self.stops[1:]):
-            length += euclidean(positions[a], positions[b])
-        length += euclidean(positions[self.stops[-1]], depot)
+            length += dist(a, b)
+        length += dist(self.stops[-1], None)
         return length
 
     def copy(self) -> "Tour":
@@ -88,6 +96,7 @@ def tour_delay(
     depot: Point,
     speed_mps: float,
     service_time: Callable[[int], float],
+    dist: Optional[DistanceFn] = None,
 ) -> float:
     """Delay of a closed tour: travel time plus per-stop service time.
 
@@ -99,7 +108,7 @@ def tour_delay(
     if not stops:
         return 0.0
     tour = Tour(stops=list(stops))
-    travel = tour.travel_length(positions, depot) / speed_mps
+    travel = tour.travel_length(positions, depot, dist) / speed_mps
     service = sum(service_time(v) for v in stops)
     return travel + service
 

@@ -19,11 +19,11 @@ after the depot.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Mapping, Sequence
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
 import networkx as nx
 
-from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
 
 #: Sentinel id for the depot inside TSP constructions. Sensor ids are
@@ -32,26 +32,37 @@ DEPOT: Hashable = "DEPOT"
 
 _METHODS = ("nearest_neighbor", "greedy_edge", "double_mst", "christofides")
 
+#: A pairwise distance lookup over node labels.
+DistanceFn = Callable[[Hashable, Hashable], float]
+
 
 def _distance_lookup(
-    positions: Mapping[Hashable, PointLike]
-) -> Callable[[Hashable, Hashable], float]:
-    def dist(a: Hashable, b: Hashable) -> float:
-        return euclidean(positions[a], positions[b])
+    positions: Mapping[Hashable, PointLike],
+    dist: Optional[DistanceFn] = None,
+) -> DistanceFn:
+    return dist if dist is not None else DistanceCache(positions)
 
-    return dist
+
+def _translate_depot(dist: DistanceFn) -> DistanceFn:
+    """Adapt a ``None``-is-depot lookup to the :data:`DEPOT` sentinel."""
+
+    def inner(a: Hashable, b: Hashable) -> float:
+        return dist(None if a == DEPOT else a, None if b == DEPOT else b)
+
+    return inner
 
 
 def nearest_neighbor_tour(
     nodes: Sequence[Hashable],
     positions: Mapping[Hashable, PointLike],
     start: Hashable,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """Nearest-neighbour construction starting from ``start``.
 
     Returns the full cycle order beginning with ``start``.
     """
-    dist = _distance_lookup(positions)
+    dist = _distance_lookup(positions, dist)
     remaining = set(nodes)
     remaining.discard(start)
     order = [start]
@@ -68,6 +79,7 @@ def greedy_edge_tour(
     nodes: Sequence[Hashable],
     positions: Mapping[Hashable, PointLike],
     start: Hashable,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """Greedy-edge construction: repeatedly add the globally shortest
     edge that keeps degrees ≤ 2 and forms no premature subcycle.
@@ -79,7 +91,7 @@ def greedy_edge_tour(
         return [start]
     if len(all_nodes) == 2:
         return [start, next(n for n in all_nodes if n != start)]
-    dist = _distance_lookup(positions)
+    dist = _distance_lookup(positions, dist)
     edges = sorted(
         (
             (dist(a, b), i, j)
@@ -134,11 +146,13 @@ def greedy_edge_tour(
 
 
 def _complete_graph(
-    nodes: Sequence[Hashable], positions: Mapping[Hashable, PointLike]
+    nodes: Sequence[Hashable],
+    positions: Mapping[Hashable, PointLike],
+    dist: Optional[DistanceFn] = None,
 ) -> nx.Graph:
     graph = nx.Graph()
     graph.add_nodes_from(nodes)
-    dist = _distance_lookup(positions)
+    dist = _distance_lookup(positions, dist)
     for i, a in enumerate(nodes):
         for b in nodes[i + 1:]:
             graph.add_edge(a, b, weight=dist(a, b))
@@ -149,9 +163,13 @@ def double_mst_tour(
     nodes: Sequence[Hashable],
     positions: Mapping[Hashable, PointLike],
     start: Hashable,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """The MST-doubling 2-approximation: preorder walk of a minimum
     spanning tree rooted at ``start``.
+
+    ``dist`` is accepted for interface uniformity but unused: the MST
+    runs on a vectorised dense matrix, not pairwise lookups.
 
     The MST is computed with scipy's sparse-graph routine on the dense
     distance matrix — O(n²) memory but far faster than building a
@@ -182,6 +200,7 @@ def christofides_tour(
     nodes: Sequence[Hashable],
     positions: Mapping[Hashable, PointLike],
     start: Hashable,
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """Christofides' 1.5-approximation (networkx implementation),
     rotated to begin with ``start``.
@@ -192,7 +211,9 @@ def christofides_tour(
     all_nodes = list(dict.fromkeys(list(nodes) + [start]))
     if len(all_nodes) <= 3:
         return double_mst_tour(nodes, positions, start)
-    cycle = nx.approximation.christofides(_complete_graph(all_nodes, positions))
+    cycle = nx.approximation.christofides(
+        _complete_graph(all_nodes, positions, dist)
+    )
     # networkx returns a closed walk with the first node repeated last.
     order = cycle[:-1]
     pivot = order.index(start)
@@ -204,12 +225,16 @@ def build_tsp_order(
     positions: Mapping[Hashable, PointLike],
     depot: PointLike,
     method: str = "christofides",
+    dist: Optional[DistanceFn] = None,
 ) -> List[Hashable]:
     """Build a closed tour through ``nodes`` rooted at the depot.
 
     The depot joins the instance as the sentinel :data:`DEPOT`; the
     returned order lists only the real nodes, in visit order starting
     with the first node after leaving the depot.
+
+    ``dist`` uses the schedule-layer convention (``None`` = depot); it
+    is translated to the :data:`DEPOT` sentinel internally.
 
     Raises:
         ValueError: on an unknown method.
@@ -225,12 +250,13 @@ def build_tsp_order(
         return node_list
     pos: Dict[Hashable, PointLike] = {n: positions[n] for n in node_list}
     pos[DEPOT] = depot
+    inner = None if dist is None else _translate_depot(dist)
     builder = {
         "nearest_neighbor": nearest_neighbor_tour,
         "greedy_edge": greedy_edge_tour,
         "double_mst": double_mst_tour,
         "christofides": christofides_tour,
     }[method]
-    cycle = builder(node_list + [DEPOT], pos, DEPOT)
+    cycle = builder(node_list + [DEPOT], pos, DEPOT, inner)
     assert cycle[0] == DEPOT
     return cycle[1:]

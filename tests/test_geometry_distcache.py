@@ -1,0 +1,63 @@
+"""Unit tests for :mod:`repro.geometry.distcache`."""
+
+import pytest
+
+from repro.geometry.distance import euclidean
+from repro.geometry.distcache import DistanceCache
+from repro.geometry.point import Point
+
+POSITIONS = {
+    0: Point(0.0, 0.0),
+    1: Point(3.0, 4.0),
+    2: Point(10.0, 0.0),
+}
+DEPOT = Point(5.0, 5.0)
+
+
+class TestLookup:
+    def test_matches_euclidean_exactly(self):
+        cache = DistanceCache(POSITIONS, DEPOT)
+        for a in POSITIONS:
+            for b in POSITIONS:
+                if a == b:
+                    continue
+                assert cache(a, b) == euclidean(POSITIONS[a], POSITIONS[b])
+
+    def test_identity_is_zero_without_caching(self):
+        cache = DistanceCache(POSITIONS, DEPOT)
+        assert cache(1, 1) == 0.0
+        assert cache(None, None) == 0.0
+        assert len(cache) == 0
+
+    def test_none_resolves_to_depot(self):
+        cache = DistanceCache(POSITIONS, DEPOT)
+        assert cache(None, 0) == euclidean(DEPOT, POSITIONS[0])
+        assert cache(1, None) == euclidean(POSITIONS[1], DEPOT)
+
+    def test_depotless_cache_rejects_none(self):
+        cache = DistanceCache(POSITIONS)
+        with pytest.raises(ValueError, match="no depot"):
+            cache(None, 0)
+
+    def test_unknown_label_raises(self):
+        cache = DistanceCache(POSITIONS, DEPOT)
+        with pytest.raises(KeyError):
+            cache(0, 99)
+
+
+class TestMemoization:
+    def test_each_pair_computed_once(self):
+        cache = DistanceCache(POSITIONS, DEPOT)
+        first = cache(0, 1)
+        assert cache.stats() == {"hits": 0, "misses": 1, "pairs": 1}
+        # Same pair, both orientations: hits, no new computation.
+        assert cache(0, 1) == first
+        assert cache(1, 0) == first
+        assert cache.stats() == {"hits": 2, "misses": 1, "pairs": 1}
+
+    def test_len_counts_directed_entries(self):
+        cache = DistanceCache(POSITIONS, DEPOT)
+        cache(0, 1)
+        cache(1, 2)
+        assert len(cache) == 4
+        assert cache.stats()["pairs"] == 2

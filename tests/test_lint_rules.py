@@ -32,7 +32,7 @@ def rules_of(findings):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(rule_ids()) >= {
             "unit-suffix",
             "float-eq",
@@ -40,6 +40,7 @@ class TestRegistry:
             "mutable-default",
             "import-layer",
             "api-drift",
+            "euclidean-call",
         }
 
 
@@ -368,6 +369,126 @@ class TestMutableDefault:
         )
         assert findings == []
 
+    def test_flags_class_instance_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            class Field:
+                pass
+
+            def deploy(n, field=Field()):
+                return field
+            """,
+            select=["mutable-default"],
+        )
+        assert rules_of(findings) == {"mutable-default"}
+        assert "class-instance" in findings[0].message
+
+    def test_flags_attribute_instance_default(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import geometry
+
+            def deploy(n, field=geometry.Field()):
+                return field
+            """,
+            select=["mutable-default"],
+        )
+        assert rules_of(findings) == {"mutable-default"}
+
+    def test_accepts_lowercase_factory_calls(self, tmp_path):
+        # frozenset() and friends are immutable; the CamelCase
+        # heuristic must not fire on ordinary function-call defaults.
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def make():
+                return 3
+
+            def f(x=frozenset(), y=make()):
+                return x, y
+            """,
+            select=["mutable-default"],
+        )
+        assert findings == []
+
+
+class TestEuclideanCall:
+    def test_flags_direct_call_outside_geometry(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.geometry.distance import euclidean
+
+            def leg(a, b):
+                return euclidean(a, b)
+            """,
+            subdir="repro/tours",
+            name="bad.py",
+            select=["euclidean-call"],
+        )
+        assert rules_of(findings) == {"euclidean-call"}
+        assert "DistanceCache" in findings[0].message
+
+    def test_flags_attribute_call(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.geometry import distance
+
+            def leg(a, b):
+                return distance.euclidean(a, b)
+            """,
+            subdir="repro/core",
+            name="bad.py",
+            select=["euclidean-call"],
+        )
+        assert rules_of(findings) == {"euclidean-call"}
+
+    def test_geometry_and_pipeline_are_exempt(self, tmp_path):
+        source = """
+            from repro.geometry.distance import euclidean
+
+            def leg(a, b):
+                return euclidean(a, b)
+            """
+        for subdir in ("repro/geometry", "repro/pipeline"):
+            findings = lint_snippet(
+                tmp_path, source, subdir=subdir, name="ok.py",
+                select=["euclidean-call"],
+            )
+            assert findings == []
+
+    def test_files_outside_repro_are_skipped(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.geometry.distance import euclidean
+
+            def leg(a, b):
+                return euclidean(a, b)
+            """,
+            name="script.py",
+            select=["euclidean-call"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.geometry.distance import euclidean
+
+            def leg(a, b):
+                return euclidean(a, b)  # repro-lint: disable=euclidean-call
+            """,
+            subdir="repro/energy",
+            name="ok.py",
+            select=["euclidean-call"],
+        )
+        assert findings == []
+
 
 class TestImportLayer:
     def test_flags_upward_import(self, tmp_path):
@@ -451,8 +572,9 @@ class TestImportLayer:
         # Sanity: every package named in the map has a distinct spot
         # and the known hot-path packages sit below the drivers.
         assert LAYERS["geometry"] < LAYERS["energy"] < LAYERS["network"]
-        assert LAYERS["core"] < LAYERS["baselines"] < LAYERS["sim"]
-        assert LAYERS["sim"] < LAYERS["bench"] < LAYERS["cli"]
+        assert LAYERS["core"] < LAYERS["baselines"] < LAYERS["pipeline"]
+        assert LAYERS["pipeline"] < LAYERS["sim"] < LAYERS["bench"]
+        assert LAYERS["bench"] < LAYERS["cli"]
 
 
 class TestPragmas:

@@ -1,0 +1,132 @@
+"""Unit tests for :mod:`repro.pipeline.context`."""
+
+import pytest
+
+from repro.energy.charging import ChargerSpec, full_charge_time
+from repro.graphs.mis import is_independent_set
+from repro.graphs.unit_disk import build_charging_graph
+from repro.pipeline import PlanningContext, shared_distance_cache
+
+
+class TestConstruction:
+    def test_requests_are_sorted_and_deduplicated(self, depleted_net):
+        ctx = PlanningContext(depleted_net, [5, 3, 3, 1])
+        assert ctx.requests == (1, 3, 5)
+
+    def test_unknown_request_id_raises(self, depleted_net):
+        with pytest.raises(ValueError, match="not in the network"):
+            PlanningContext(depleted_net, [0, 10_000])
+
+    def test_default_charger_is_paper_spec(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        assert ctx.charger == ChargerSpec()
+
+
+class TestValidateFor:
+    def test_accepts_matching_workload(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()[:10]
+        ctx = PlanningContext(depleted_net, requests)
+        ctx.validate_for(depleted_net, list(reversed(requests)), ctx.charger)
+
+    def test_rejects_other_network(self, depleted_net, small_net):
+        ctx = PlanningContext(depleted_net, [0, 1])
+        with pytest.raises(ValueError, match="different network"):
+            ctx.validate_for(small_net, [0, 1], ctx.charger)
+
+    def test_rejects_other_request_set(self, depleted_net):
+        ctx = PlanningContext(depleted_net, [0, 1])
+        with pytest.raises(ValueError, match="different request set"):
+            ctx.validate_for(depleted_net, [0, 1, 2], ctx.charger)
+
+    def test_rejects_other_charger(self, depleted_net):
+        ctx = PlanningContext(depleted_net, [0, 1])
+        other = ChargerSpec(travel_speed_mps=9.9)
+        with pytest.raises(ValueError, match="different ChargerSpec"):
+            ctx.validate_for(depleted_net, [0, 1], other)
+
+
+class TestMemoizedValues:
+    def test_charge_times_match_eq1(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()[:15]
+        ctx = PlanningContext(depleted_net, requests)
+        times = ctx.charge_times_for(requests)
+        for sid in requests:
+            sensor = depleted_net.sensor(sid)
+            assert times[sid] == full_charge_time(
+                sensor.capacity_j, sensor.residual_j,
+                ctx.charger.charge_rate_w,
+            )
+
+    def test_charging_graph_matches_direct_construction(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        ctx = PlanningContext(depleted_net, requests)
+        direct = build_charging_graph(
+            depleted_net.positions(),
+            ctx.charger.charge_radius_m,
+            nodes=requests,
+        )
+        assert set(ctx.charging_graph.nodes) == set(direct.nodes)
+        assert set(map(frozenset, ctx.charging_graph.edges)) == set(
+            map(frozenset, direct.edges)
+        )
+
+    def test_sojourn_candidates_are_independent_in_gc(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        candidates = ctx.sojourn_candidates()
+        assert is_independent_set(ctx.charging_graph, candidates)
+
+    def test_core_is_independent_in_h(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        core = ctx.conflict_free_core()
+        assert core
+        assert is_independent_set(ctx.auxiliary_graph(), core)
+
+    def test_coverage_contains_candidate_itself(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        candidates = ctx.sojourn_candidates()
+        coverage = ctx.coverage_for(candidates)
+        for cand, covered in coverage.items():
+            assert cand in covered
+
+    def test_second_access_hits_the_memo(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        ctx.conflict_free_core()
+        misses = ctx.memo_misses
+        ctx.conflict_free_core()
+        ctx.sojourn_candidates()
+        ctx.auxiliary_graph()
+        assert ctx.memo_misses == misses
+        assert ctx.memo_hits > 0
+
+    def test_minmax_tours_returns_defensive_copies(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()[:12]
+        ctx = PlanningContext(depleted_net, requests)
+        service = ctx.charge_times_for(requests)
+        tours, delay = ctx.minmax_tours(requests, 2, service)
+        assert delay > 0
+        tours[0].append(-1)
+        again, again_delay = ctx.minmax_tours(requests, 2, service)
+        assert -1 not in again[0]
+        assert again_delay == delay
+        assert ctx.stats()["minmax_solutions"] == 1
+
+
+class TestSharedDistances:
+    def test_contexts_on_one_network_share_the_cache(self, depleted_net):
+        a = PlanningContext(depleted_net, [0, 1, 2])
+        b = PlanningContext(depleted_net, [3, 4, 5])
+        assert a.distance is b.distance
+        assert a.distance is shared_distance_cache(depleted_net)
+
+    def test_private_cache_on_request(self, depleted_net):
+        ctx = PlanningContext(
+            depleted_net, [0, 1, 2], share_distances=False
+        )
+        assert ctx.distance is not shared_distance_cache(depleted_net)
+
+    def test_different_networks_get_different_caches(
+        self, depleted_net, small_net
+    ):
+        assert shared_distance_cache(depleted_net) is not (
+            shared_distance_cache(small_net)
+        )
