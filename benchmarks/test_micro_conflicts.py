@@ -1,0 +1,177 @@
+"""Micro-benchmark: the conflict engine vs. the retired all-pairs scan.
+
+``resolve_conflicts`` sits on the hot path of every multi-node planner
+(`Appro` step 7, `GreedyCover`): before this engine it re-ran an
+all-pairs O(n²) conflict scan after *every* inserted wait —
+O(waits·n²) in total. The engine sweeps per-sensor stop groups and the
+incremental :class:`~repro.core.conflicts.ConflictResolver` re-checks
+only the delayed tour's downstream intervals, so resolution is
+O(waits·Σ_s d_s log d_s).
+
+This module builds an adversarial instance — tight rings of stops
+around a shared sensor, every tour visiting the rings in the same
+order, so the tours stay time-synchronised and every cluster is a knot
+of cross-tour conflicts — resolves it with both implementations,
+asserts the
+schedules are byte-identical and the engine is at least ``3×`` faster
+at 400 stops.
+
+Scale knob (mirrors the other ``REPRO_BENCH_*`` switches): export
+``REPRO_BENCH_CONFLICT_STOPS=800`` for a larger instance.
+
+Run standalone (e.g. from CI) with::
+
+    python benchmarks/test_micro_conflicts.py --quick
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Tuple
+
+from repro.core.schedule import ChargingSchedule
+from repro.core.validation import conflicting_pairs, resolve_conflicts
+from repro.energy.charging import ChargerSpec
+from repro.geometry.point import Point
+from repro.graphs.coverage import coverage_sets
+
+try:
+    from tests._legacy_conflicts import legacy_resolve_conflicts
+except ImportError:  # standalone run: repo root is not on sys.path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from tests._legacy_conflicts import legacy_resolve_conflicts
+
+NUM_STOPS = int(os.environ.get("REPRO_BENCH_CONFLICT_STOPS", "400"))
+NUM_TOURS = 4
+SPEEDUP_FLOOR = 3.0
+
+
+def make_adversarial_schedule(
+    num_stops: int = NUM_STOPS, num_tours: int = NUM_TOURS
+) -> ChargingSchedule:
+    """``num_stops / num_tours`` stop rings, one stop per tour per
+    ring, tours visiting the rings in the same order.
+
+    Rings sit far apart (no cross-ring coverage) but within a ring
+    every stop covers the shared central sensor, and the identical
+    visiting order keeps the tours time-synchronised — each ring is a
+    fresh all-tours conflict knot, the worst case for a full-rescan
+    resolver.
+    """
+    clusters = num_stops // num_tours
+    spec = ChargerSpec()
+    positions = {}
+    charge_times = {}
+    shared_base = num_stops  # one extra sensor id per cluster
+    for c in range(clusters):
+        cx = 10.0 * c  # clusters 10 m apart: they never interact
+        for t in range(num_tours):
+            node = c * num_tours + t
+            # Stops on a radius-2.0 ring: each is within the charge
+            # radius (2.7 m) of the shared central sensor, but the
+            # ring chord (2.83 m) keeps every stop's own sensor
+            # private — so no stop collapses to a zero-length charge.
+            angle = 2.0 * math.pi * t / num_tours
+            positions[node] = Point(
+                cx + 2.0 * math.cos(angle), 2.0 * math.sin(angle)
+            )
+            # Equal within a cluster and slowly growing across
+            # clusters: serialising cluster c staggers the tours by
+            # dur_c, but cluster c+1 charges for dur_c + 2.4 s — every
+            # cluster re-overlaps and needs its own round of waits.
+            charge_times[node] = 200.0 + 2.4 * c
+        positions[shared_base + c] = Point(cx, 0.0)
+        charge_times[shared_base + c] = 150.0
+    candidates = list(range(num_stops))
+    coverage = coverage_sets(
+        candidates,
+        positions,
+        spec.charge_radius_m,
+        targets=sorted(positions),
+    )
+    schedule = ChargingSchedule(
+        depot=Point(0.0, 0.0),
+        positions=positions,
+        coverage=coverage,
+        charge_times=charge_times,
+        charger=spec,
+        num_tours=num_tours,
+    )
+    for c in range(clusters):
+        for t in range(num_tours):
+            schedule.append_stop(t, c * num_tours + t)
+    return schedule
+
+
+def fingerprint(schedule: ChargingSchedule):
+    return (
+        [list(t) for t in schedule.tours],
+        dict(schedule.wait),
+        schedule.longest_delay(),
+    )
+
+
+def time_both(num_stops: int) -> Tuple[float, float, int]:
+    """Seconds for the retired all-pairs resolution and the engine's,
+    on identical copies of the adversarial instance."""
+    legacy_sched = make_adversarial_schedule(num_stops)
+    engine_sched = legacy_sched.copy()
+
+    t0 = time.perf_counter()
+    legacy_waits = legacy_resolve_conflicts(
+        legacy_sched, max_rounds=100_000
+    )
+    legacy_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine_waits = resolve_conflicts(engine_sched, max_rounds=100_000)
+    engine_s = time.perf_counter() - t0
+
+    # The speedup is only meaningful if the outputs are byte-identical.
+    assert engine_waits == legacy_waits
+    assert fingerprint(engine_sched) == fingerprint(legacy_sched)
+    assert conflicting_pairs(engine_sched) == []
+    return legacy_s, engine_s, engine_waits
+
+
+def test_engine_resolution_is_3x_faster():
+    assert NUM_STOPS >= 400  # the acceptance scale
+    legacy_s, engine_s, waits = time_both(NUM_STOPS)
+    # The instance must be genuinely adversarial: most clusters need
+    # nearly all their stops serialised.
+    assert waits > NUM_STOPS / 2
+    assert legacy_s >= engine_s * SPEEDUP_FLOOR, (
+        f"engine not {SPEEDUP_FLOOR}x faster: "
+        f"all-pairs={legacy_s:.3f}s engine={engine_s:.3f}s "
+        f"({legacy_s / engine_s:.1f}x, {waits} waits)"
+    )
+
+
+def main(quick: bool = False) -> int:
+    num_stops = NUM_STOPS
+    floor = 2.0 if quick else SPEEDUP_FLOOR
+    legacy_s, engine_s, waits = time_both(num_stops)
+    speedup = legacy_s / engine_s if engine_s > 0 else float("inf")
+    print(f"stops={num_stops} tours={NUM_TOURS} waits={waits}")
+    print(f"all-pairs resolve : {legacy_s * 1000:8.1f} ms")
+    print(f"engine resolve    : {engine_s * 1000:8.1f} ms")
+    print(f"speedup           : {speedup:8.1f}x (floor {floor}x)")
+    if speedup < floor:
+        print("FAIL: conflict engine is below the speedup floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="softer speedup floor for noisy CI runners",
+    )
+    sys.exit(main(quick=parser.parse_args().quick))

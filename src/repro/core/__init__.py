@@ -7,6 +7,10 @@
   latest-neighbour finish-time keys and case (i)/(ii) anchor selection
   (Eqs. 7–9, 13).
 * :mod:`repro.core.appro` — Algorithm 1 (``Appro``) end to end.
+* :mod:`repro.core.conflicts` — the conflict engine: per-sensor
+  stop-group sweeps for the no-simultaneous-charging constraint, one
+  project-wide touching-epsilon rule, and the incremental
+  ``ConflictResolver`` behind every wait-insertion repair loop.
 * :mod:`repro.core.validation` — feasibility validator for coverage,
   node-disjointness and the no-simultaneous-charging constraint.
 * :mod:`repro.core.ratio` — the approximation-ratio machinery of
@@ -19,6 +23,14 @@
 """
 
 from repro.core.appro import ApproArtifacts, appro_schedule
+from repro.core.conflicts import (
+    OVERLAP_EPS,
+    ConflictResolver,
+    conflicting_pairs,
+    has_conflict,
+    minimum_pairwise_slack,
+    stop_groups,
+)
 from repro.core.ratio import (
     approximation_ratio,
     delta_h_bound,
@@ -34,17 +46,23 @@ from repro.core.schedule import ChargingSchedule, Stop
 from repro.core.validation import ScheduleViolation, validate_schedule
 
 __all__ = [
+    "OVERLAP_EPS",
     "ApproArtifacts",
     "ChargingSchedule",
+    "ConflictResolver",
     "RepairConfig",
     "RepairOutcome",
     "ScheduleViolation",
     "Stop",
     "appro_schedule",
     "approximation_ratio",
+    "conflicting_pairs",
     "delta_h_bound",
     "empirical_lower_bound",
+    "has_conflict",
+    "minimum_pairwise_slack",
     "repair_schedule",
     "resolve_conflicts_after",
+    "stop_groups",
     "validate_schedule",
 ]

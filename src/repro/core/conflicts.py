@@ -1,0 +1,389 @@
+"""The conflict engine — one sweep for the no-simultaneous-charging
+constraint.
+
+The paper's hard constraint (Definition 1, condition 3) — no sensor
+may sit inside two MCVs' active charging disks during time-overlapping
+charging intervals — used to be enforced by three separately-written
+detectors: an all-pairs O(n²) scan in :mod:`repro.core.validation`
+(re-run once per inserted wait on the hot path of ``Appro`` step 7 and
+``GreedyCover``), a start-time sweep with its own epsilon handling in
+:mod:`repro.core.repair`, and a per-sensor-group sweep in
+:mod:`repro.sim.robustness`. This module is the single replacement all
+three now delegate to.
+
+**Candidate generation.** Two stops can conflict only when their disks
+intersect, i.e. when they share at least one covered sensor. The
+engine therefore inverts the coverage relation into per-sensor *stop
+groups* (:func:`stop_groups`) and only ever compares stops inside a
+group — never all pairs. Each group is swept in charging start order
+with an active window pruned by finish time, so the cost is
+O(Σ_s d_s log d_s) over the disk occupancies ``d_s`` (how many stops
+cover sensor ``s``) instead of O(n²) over all stops. For the paper's
+instances the groups are tiny (an MIS keeps disks nearly disjoint),
+so detection is effectively linear.
+
+**One epsilon rule.** All intervals are closed, ``[start, finish]``,
+and a pair conflicts exactly when its overlap length exceeds
+:data:`OVERLAP_EPS`; an overlap of at most the epsilon is *touching*
+and legal. The active-window pruning (``finish - start > eps``) is the
+same rule — a pruned interval could contribute at most a touching
+overlap — so sweep and all-pairs semantics coincide by construction.
+The validator, the repair engine and the robustness sweep previously
+each spelled this out independently; they now share this module's
+constant and the property tests in ``tests/test_core_conflicts.py``
+pin that all report identical conflict sets.
+
+**Incremental resolution.** Wait-insertion conflict resolution delays
+one stop per round. Delaying a stop only moves intervals on *its own
+tour* (the delayed stop and everything downstream), so
+:class:`ConflictResolver` re-checks only those stops against their
+per-sensor groups instead of rescanning the whole schedule — turning
+``resolve_conflicts`` from O(waits · n²) into
+O(waits · Σ_s d_s log d_s) while producing byte-identical schedules
+(same pair picked per round, same wait lengths; see the parity tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.schedule import ChargingSchedule
+
+#: The single touching-interval tolerance: a closed-interval overlap of
+#: at most this many seconds is "touching" and never a conflict.
+OVERLAP_EPS = 1e-9
+
+#: ``(u, v, overlap_seconds)`` with ``u`` before ``v`` in tour order.
+ConflictPair = Tuple[int, int, float]
+
+
+def stop_groups(
+    schedule: ChargingSchedule, skip_tour: Optional[int] = None
+) -> Dict[int, List[int]]:
+    """Invert the coverage relation: sensor -> scheduled stops whose
+    disk contains it.
+
+    Only stops currently on a tour contribute; ``skip_tour`` excludes
+    one tour entirely (the repair engine ignores the failed tour).
+    Sensors covered by fewer than two stops can never witness a
+    conflict, but they are kept — callers that only need conflict
+    candidates filter on group size.
+    """
+    groups: Dict[int, List[int]] = {}
+    for node in schedule.scheduled_stops():
+        if skip_tour is not None and schedule.tour_of[node] == skip_tour:
+            continue
+        for sensor in schedule.coverage[node]:
+            groups.setdefault(sensor, []).append(node)
+    return groups
+
+
+def _groups_cover_stops(
+    groups: Mapping[int, Sequence[int]],
+    schedule: ChargingSchedule,
+    stops: Sequence[int],
+) -> bool:
+    """Whether a caller-supplied (possibly wider) group index mentions
+    every scheduled stop that has a non-empty disk."""
+    mentioned = set()
+    for members in groups.values():
+        mentioned.update(members)
+    return all(
+        node in mentioned for node in stops if schedule.coverage[node]
+    )
+
+
+def conflicting_pairs(
+    schedule: ChargingSchedule,
+    *,
+    skip_tour: Optional[int] = None,
+    frozen_before_s: Optional[float] = None,
+    groups: Optional[Mapping[int, Sequence[int]]] = None,
+    eps: float = OVERLAP_EPS,
+) -> List[ConflictPair]:
+    """All cross-tour stop pairs violating the no-overlap constraint.
+
+    Returns ``(u, v, overlap_seconds)`` triples where ``u`` and ``v``
+    are stops on different tours with intersecting disks and
+    positively-overlapping (``> eps``) charging intervals; ``u``
+    precedes ``v`` in tour order and the list is sorted the same way,
+    matching the retired all-pairs scan exactly.
+
+    Args:
+        schedule: the schedule to check.
+        skip_tour: ignore every stop on this tour (repair: the failed
+            vehicle's stops are gone or in the feasible past).
+        frozen_before_s: drop pairs in which *both* stops started
+            before this time — they belong to the already-executed
+            prefix, which the pre-fault plan kept feasible; only pairs
+            with at least one delayable stop are actionable.
+        groups: optional pre-built sensor -> candidate-stop index (for
+            example :meth:`repro.pipeline.PlanningContext.
+            sensor_stop_groups`); it may mention unscheduled candidates
+            (they are filtered out) but must mention every scheduled
+            stop, else it is ignored and rebuilt from the schedule.
+        eps: touching tolerance; the default is the project-wide rule.
+    """
+    stops = [
+        node
+        for node in schedule.scheduled_stops()
+        if skip_tour is None or schedule.tour_of[node] != skip_tour
+    ]
+    pos = {node: i for i, node in enumerate(stops)}
+    if groups is not None and not _groups_cover_stops(
+        groups, schedule, stops
+    ):
+        groups = None
+    if groups is None:
+        by_sensor: Mapping[int, Sequence[int]] = stop_groups(
+            schedule, skip_tour
+        )
+    else:
+        by_sensor = {
+            sensor: [n for n in members if n in pos]
+            for sensor, members in groups.items()
+        }
+
+    tour_of = schedule.tour_of
+    found: Dict[Tuple[int, int], float] = {}
+    for members in by_sensor.values():
+        if len(members) < 2:
+            continue
+        entries = sorted(
+            (
+                (*schedule.stop_interval(node), tour_of[node], node)
+                for node in members
+            ),
+            key=lambda e: (e[0], e[3]),
+        )
+        active: List[Tuple[float, float, int, int]] = []
+        for start, finish, tour, node in entries:
+            active = [a for a in active if a[1] - start > eps]
+            for a_start, a_finish, a_tour, a_node in active:
+                if a_tour == tour:
+                    continue
+                overlap = min(a_finish, finish) - max(a_start, start)
+                if overlap > eps:
+                    key = (
+                        (a_node, node)
+                        if pos[a_node] < pos[node]
+                        else (node, a_node)
+                    )
+                    found[key] = overlap
+            active.append((start, finish, tour, node))
+
+    if frozen_before_s is not None:
+        found = {
+            (u, v): overlap
+            for (u, v), overlap in found.items()
+            if schedule.stop_interval(u)[0] >= frozen_before_s
+            or schedule.stop_interval(v)[0] >= frozen_before_s
+        }
+    return [
+        (u, v, found[(u, v)])
+        for u, v in sorted(found, key=lambda p: (pos[p[0]], pos[p[1]]))
+    ]
+
+
+def has_conflict(
+    schedule: ChargingSchedule,
+    *,
+    skip_tour: Optional[int] = None,
+    eps: float = OVERLAP_EPS,
+) -> bool:
+    """Whether any cross-tour conflicting pair exists (early exit)."""
+    for members in stop_groups(schedule, skip_tour).values():
+        if len(members) < 2:
+            continue
+        entries = sorted(
+            (
+                (*schedule.stop_interval(node), schedule.tour_of[node], node)
+                for node in members
+            ),
+            key=lambda e: (e[0], e[3]),
+        )
+        active: List[Tuple[float, float, int, int]] = []
+        for start, finish, tour, _node in entries:
+            active = [a for a in active if a[1] - start > eps]
+            for _, a_finish, a_tour, _a in active:
+                if a_tour != tour and min(a_finish, finish) - start > eps:
+                    return True
+            active.append((start, finish, tour, _node))
+    return False
+
+
+def minimum_pairwise_slack(schedule: ChargingSchedule) -> float:
+    """Smallest time gap between any two conflicting-disk stops on
+    different tours in the *planned* timeline.
+
+    ``inf`` when no cross-tour pair shares a disk. Negative slack would
+    mean a planned violation (:func:`conflicting_pairs` reports those
+    directly).
+
+    Candidate pairs come from the same per-sensor :func:`stop_groups`
+    as conflict detection, and each group is swept in start order:
+    still-open intervals are compared directly, and for closed
+    intervals only the per-tour maximum finish matters (the gap
+    ``start - finish`` is minimised by the latest finish). Cost is
+    O(Σ_s d_s log d_s) over disk occupancies ``d_s``.
+    """
+    best = float("inf")
+    by_sensor = stop_groups(schedule)
+    for sensor in sorted(by_sensor):
+        group = by_sensor[sensor]
+        if len(group) < 2:
+            continue
+        entries = sorted(
+            (
+                (*schedule.stop_interval(u), schedule.tour_of[u], u)
+                for u in group
+            ),
+            key=lambda e: (e[0], e[3]),
+        )
+        #: tour -> latest finish among already-closed intervals.
+        closed_best: Dict[int, float] = {}
+        active: List[Tuple[float, float, int, int]] = []
+        for su, fu, tour, u in entries:
+            still_open: List[Tuple[float, float, int, int]] = []
+            for sa, fa, ta, a in active:
+                if fa <= su:
+                    closed_best[ta] = max(
+                        closed_best.get(ta, float("-inf")), fa
+                    )
+                else:
+                    still_open.append((sa, fa, ta, a))
+            active = still_open
+            for t, f in closed_best.items():
+                if t != tour:
+                    best = min(best, su - f)
+            for sa, fa, ta, a in active:
+                if ta != tour:
+                    best = min(best, max(su - fa, sa - fu))
+            active.append((su, fu, tour, u))
+    return best
+
+
+class ConflictResolver:
+    """Incrementally-maintained conflict set under wait insertion.
+
+    Built once per resolution run: the constructor performs one full
+    per-sensor sweep, after which :meth:`delay` applies a wait and
+    re-checks *only* the delayed tour's affected suffix (the delayed
+    stop and everything downstream of it — the only intervals a wait
+    can move) against the per-sensor groups. Conflicts between two
+    unaffected stops are untouched; conflicts involving an affected
+    stop are recomputed from the fresh intervals.
+
+    The maintained set is therefore identical, round for round, to
+    re-running :func:`conflicting_pairs` from scratch — the parity
+    tests pin this — at a per-wait cost of
+    O(suffix · disk-occupancy) instead of O(n²).
+
+    Args:
+        schedule: the schedule to resolve (mutated via
+            :meth:`~repro.core.schedule.ChargingSchedule.add_wait`).
+        skip_tour: ignore every stop on this tour (repair).
+        eps: touching tolerance.
+
+    Note:
+        The resolver assumes stops are neither added nor removed while
+        it is alive — true of every resolution loop, which only ever
+        inserts waits.
+    """
+
+    def __init__(
+        self,
+        schedule: ChargingSchedule,
+        *,
+        skip_tour: Optional[int] = None,
+        eps: float = OVERLAP_EPS,
+    ):
+        self.schedule = schedule
+        self.skip_tour = skip_tour
+        self.eps = eps
+        self._pos: Dict[int, int] = {
+            node: i
+            for i, node in enumerate(
+                n
+                for n in schedule.scheduled_stops()
+                if skip_tour is None or schedule.tour_of[n] != skip_tour
+            )
+        }
+        self._groups = stop_groups(schedule, skip_tour)
+        self._pairs: Dict[Tuple[int, int], float] = {
+            (u, v): overlap
+            for u, v, overlap in conflicting_pairs(
+                schedule,
+                skip_tour=skip_tour,
+                groups=self._groups,
+                eps=eps,
+            )
+        }
+
+    def has_conflicts(self) -> bool:
+        return bool(self._pairs)
+
+    def conflicts(self) -> List[ConflictPair]:
+        """The current conflict set, in tour order (matching
+        :func:`conflicting_pairs` on the current schedule state)."""
+        pos = self._pos
+        return [
+            (u, v, self._pairs[(u, v)])
+            for u, v in sorted(
+                self._pairs, key=lambda p: (pos[p[0]], pos[p[1]])
+            )
+        ]
+
+    def delay(self, node: int, extra_wait_s: float) -> None:
+        """Insert a wait at ``node`` and re-check the affected suffix.
+
+        Applies :meth:`~repro.core.schedule.ChargingSchedule.add_wait`
+        (which recomputes the tour's downstream finish times), drops
+        every maintained pair touching an affected stop, and
+        re-sweeps each affected stop against its per-sensor groups.
+        """
+        schedule = self.schedule
+        schedule.add_wait(node, extra_wait_s)
+        tour_index = schedule.tour_of[node]
+        tour = schedule.tours[tour_index]
+        affected = set(tour[tour.index(node):])
+
+        self._pairs = {
+            pair: overlap
+            for pair, overlap in self._pairs.items()
+            if pair[0] not in affected and pair[1] not in affected
+        }
+
+        pos = self._pos
+        eps = self.eps
+        tour_of = schedule.tour_of
+        for moved in affected:
+            if moved not in pos:  # skip_tour stops are never re-checked
+                continue
+            m_start, m_finish = schedule.stop_interval(moved)
+            for sensor in schedule.coverage[moved]:
+                for other in self._groups.get(sensor, ()):
+                    if other == moved or tour_of[other] == tour_index:
+                        continue
+                    o_start, o_finish = schedule.stop_interval(other)
+                    overlap = min(m_finish, o_finish) - max(
+                        m_start, o_start
+                    )
+                    if overlap > eps:
+                        key = (
+                            (other, moved)
+                            if pos[other] < pos[moved]
+                            else (moved, other)
+                        )
+                        self._pairs[key] = overlap
+
+
+__all__ = [
+    "OVERLAP_EPS",
+    "ConflictPair",
+    "ConflictResolver",
+    "conflicting_pairs",
+    "has_conflict",
+    "minimum_pairwise_slack",
+    "stop_groups",
+]

@@ -38,11 +38,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.core.conflicts import OVERLAP_EPS, ConflictResolver
+from repro.core.conflicts import conflicting_pairs as _engine_pairs
 from repro.core.schedule import ChargingSchedule
 
-#: Positive-length overlap shorter than this is treated as touching
-#: (same tolerance as the validator).
-_OVERLAP_EPS = 1e-9
+#: Positive-length overlap shorter than this is treated as touching —
+#: the engine's single project-wide rule (this module historically
+#: carried its own copy with subtly different sweep semantics).
+_OVERLAP_EPS = OVERLAP_EPS
 
 
 @dataclass(frozen=True)
@@ -134,30 +137,15 @@ class RepairOutcome:
 def _cross_tour_conflicts(
     schedule: ChargingSchedule, skip_tour: int
 ) -> List[Tuple[int, int, float]]:
-    """Cross-tour disk conflicts, start-time sweep, ignoring the failed
-    tour (its remaining stops are gone; its kept prefix is in the
-    past and was feasible in the original plan)."""
-    entries = []
-    for node in schedule.scheduled_stops():
-        if schedule.tour_of[node] == skip_tour:
-            continue
-        start, finish = schedule.stop_interval(node)
-        entries.append((start, finish, node))
-    entries.sort(key=lambda e: (e[0], e[2]))
-    out: List[Tuple[int, int, float]] = []
-    active: List[Tuple[float, float, int]] = []
-    for start, finish, node in entries:
-        active = [a for a in active if a[1] - start > _OVERLAP_EPS]
-        for a_start, a_finish, a_node in active:
-            if schedule.tour_of[a_node] == schedule.tour_of[node]:
-                continue
-            if not (schedule.coverage[a_node] & schedule.coverage[node]):
-                continue
-            overlap = min(a_finish, finish) - max(a_start, start)
-            if overlap > _OVERLAP_EPS:
-                out.append((a_node, node, overlap))
-        active.append((start, finish, node))
-    return out
+    """Cross-tour disk conflicts, ignoring the failed tour (its
+    remaining stops are gone; its kept prefix is in the past and was
+    feasible in the original plan).
+
+    Delegates to the conflict engine — same per-sensor group sweep and
+    the same closed-interval ``overlap > eps`` rule as the validator,
+    so repair and validation can never drift apart again.
+    """
+    return _engine_pairs(schedule, skip_tour=skip_tour)
 
 
 def resolve_conflicts_after(
@@ -184,9 +172,10 @@ def resolve_conflicts_after(
             (cannot happen for repair-generated conflicts; the cap is a
             livelock guard).
     """
+    resolver = ConflictResolver(schedule, skip_tour=skip_tour)
     inserted = 0
     for _ in range(max_rounds):
-        conflicts = _cross_tour_conflicts(schedule, skip_tour)
+        conflicts = resolver.conflicts()
         if not conflicts:
             return inserted
 
@@ -199,6 +188,13 @@ def resolve_conflicts_after(
         u, v, _ = min(conflicts, key=sort_key)
         su, fu = schedule.stop_interval(u)
         sv, fv = schedule.stop_interval(v)
+        # The engine orients pairs by scheduled position; this module's
+        # retired sweep oriented them by (start, node). Reorient so the
+        # frozen-pair error message and the su == sv tie-break are
+        # unchanged.
+        if (sv, v) < (su, u):
+            u, v = v, u
+            su, fu, sv, fv = sv, fv, su, fu
         u_frozen = su < frozen_before_s
         v_frozen = sv < frozen_before_s
         if u_frozen and v_frozen:
@@ -215,7 +211,7 @@ def resolve_conflicts_after(
             later, needed = v, fu - sv
         else:
             later, needed = u, fv - su
-        schedule.add_wait(later, needed + _OVERLAP_EPS)
+        resolver.delay(later, needed + _OVERLAP_EPS)
         inserted += 1
     raise RuntimeError(
         f"conflict resolution did not converge in {max_rounds} rounds"

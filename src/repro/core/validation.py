@@ -21,12 +21,15 @@ the earlier one finishes, iterating to a fixed point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.conflicts import OVERLAP_EPS, ConflictResolver
+from repro.core.conflicts import conflicting_pairs as _engine_pairs
 from repro.core.schedule import ChargingSchedule
 
 #: Positive-length overlap shorter than this is treated as touching.
-_OVERLAP_EPS = 1e-9
+#: (Alias of the engine's project-wide rule, kept for importers.)
+_OVERLAP_EPS = OVERLAP_EPS
 
 
 @dataclass(frozen=True)
@@ -44,47 +47,38 @@ class ScheduleViolation:
     nodes: Tuple[int, ...]
 
 
-def _interval_overlap(
-    a: Tuple[float, float], b: Tuple[float, float]
-) -> float:
-    """Length of the intersection of two closed intervals."""
-    return min(a[1], b[1]) - max(a[0], b[0])
-
-
 def conflicting_pairs(
     schedule: ChargingSchedule,
+    groups: Optional[Mapping[int, Sequence[int]]] = None,
 ) -> List[Tuple[int, int, float]]:
     """All cross-tour stop pairs violating the no-overlap constraint.
 
     Returns ``(u, v, overlap_seconds)`` triples where ``u`` and ``v``
     are stops on different tours with intersecting disks and
-    positively-overlapping charging intervals.
+    positively-overlapping charging intervals, in tour order.
+
+    Delegates to the conflict engine
+    (:func:`repro.core.conflicts.conflicting_pairs`): candidate pairs
+    are generated per shared sensor and swept in start order instead of
+    the retired all-pairs scan. ``groups`` optionally supplies a
+    pre-built sensor -> stop index (e.g. the pipeline's memoized one).
     """
-    stops = schedule.scheduled_stops()
-    out: List[Tuple[int, int, float]] = []
-    for i, u in enumerate(stops):
-        for v in stops[i + 1 :]:
-            if schedule.tour_of[u] == schedule.tour_of[v]:
-                continue
-            if not (schedule.coverage[u] & schedule.coverage[v]):
-                continue
-            overlap = _interval_overlap(
-                schedule.stop_interval(u), schedule.stop_interval(v)
-            )
-            if overlap > _OVERLAP_EPS:
-                out.append((u, v, overlap))
-    return out
+    return _engine_pairs(schedule, groups=groups)
 
 
 def validate_schedule(
     schedule: ChargingSchedule,
     required_sensors: Iterable[int],
+    groups: Optional[Mapping[int, Sequence[int]]] = None,
 ) -> List[ScheduleViolation]:
     """Check all three feasibility conditions.
 
     Args:
         schedule: the schedule to validate.
         required_sensors: the request set ``V_s`` that must be covered.
+        groups: optional pre-built sensor -> stop index forwarded to
+            the conflict engine (see
+            :meth:`repro.pipeline.PlanningContext.sensor_stop_groups`).
 
     Returns:
         All violations found; an empty list means the schedule is
@@ -109,20 +103,24 @@ def validate_schedule(
     for k, tour in enumerate(schedule.tours):
         for node in tour:
             if node in seen:
+                if seen[node] == k:
+                    detail = f"stop {node} appears twice on tour {k}"
+                else:
+                    detail = (
+                        f"stop {node} appears on tours {seen[node]} "
+                        f"and {k}"
+                    )
                 violations.append(
                     ScheduleViolation(
                         kind="disjointness",
-                        detail=(
-                            f"stop {node} appears on tours {seen[node]} "
-                            f"and {k}"
-                        ),
+                        detail=detail,
                         nodes=(node,),
                     )
                 )
             seen[node] = k
 
     # 3. No simultaneous charging.
-    for u, v, overlap in conflicting_pairs(schedule):
+    for u, v, overlap in conflicting_pairs(schedule, groups=groups):
         shared = sorted(schedule.coverage[u] & schedule.coverage[v])
         violations.append(
             ScheduleViolation(
@@ -150,15 +148,24 @@ def resolve_conflicts(
     an already-separated one on the same tours... in pathological cases
     the round limit guards against livelock.
 
+    The conflict set is maintained incrementally by the engine's
+    :class:`~repro.core.conflicts.ConflictResolver`: each inserted wait
+    re-checks only the delayed tour's downstream stops against the
+    per-sensor groups instead of rescanning the whole schedule, so a
+    resolution run costs O(waits · Σ_s d_s log d_s) rather than the
+    retired O(waits · n²) — with byte-identical results (same pair
+    chosen each round, same wait lengths).
+
     Returns:
         The number of waits inserted.
 
     Raises:
         RuntimeError: if conflicts remain after ``max_rounds`` rounds.
     """
+    resolver = ConflictResolver(schedule)
     inserted = 0
     for _ in range(max_rounds):
-        conflicts = conflicting_pairs(schedule)
+        conflicts = resolver.conflicts()
         if not conflicts:
             return inserted
         # Deterministic order: fix the earliest-starting conflict first.
@@ -178,9 +185,9 @@ def resolve_conflicts(
         else:
             earlier, later = v, u
             needed = fv - su
-        schedule.add_wait(later, needed + _OVERLAP_EPS)
+        resolver.delay(later, needed + _OVERLAP_EPS)
         inserted += 1
-    if conflicting_pairs(schedule):
+    if resolver.has_conflicts():
         raise RuntimeError(
             f"conflict resolution did not converge in {max_rounds} rounds"
         )

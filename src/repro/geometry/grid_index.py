@@ -4,7 +4,7 @@ Building the charging graph ``G_c`` requires, for each of up to ~1200
 sensors, all other sensors within the charging radius ``γ``. A naive
 all-pairs scan is O(n²); the :class:`GridIndex` buckets points into
 square cells of side ``cell_size`` so a radius-``r`` query only visits
-the O((r / cell_size + 2)²) cells around the query point.
+the O((r / cell_size + 1)²) cells around the query point.
 
 The index is immutable after construction, matching its use: WRSN
 deployments are static for the lifetime of a scheduling instance.
@@ -73,7 +73,11 @@ class GridIndex:
         if radius_m < 0:
             raise ValueError(f"radius must be non-negative, got {radius_m}")
         cx, cy = center
-        span = int(math.ceil(radius_m / self._cell_size)) + 1
+        # Minimal ring count: any point within r of the centre has each
+        # coordinate within r, and |floor((c ± r)/cell) - floor(c/cell)|
+        # <= ceil(r/cell) — the extra ring the old "+ 1" scanned could
+        # never contain a hit, even for d == radius on a cell edge.
+        span = int(math.ceil(radius_m / self._cell_size))
         base = self._cell_of(cx, cy)
         found: List[Hashable] = []
         for dx in range(-span, span + 1):

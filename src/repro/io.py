@@ -26,7 +26,11 @@ from repro.network.sensor import Sensor
 from repro.network.topology import WRSN
 
 WRSN_FORMAT = "repro-wrsn/1"
-SCHEDULE_FORMAT = "repro-schedule/1"
+#: v2 adds per-stop ``wait_s`` — the conflict-resolution idle inserted
+#: before charging — so a consumer reconstructing a timeline can
+#: distinguish a scheduled wait from slow travel without re-deriving it
+#: from ``start_s - arrival_s`` float arithmetic.
+SCHEDULE_FORMAT = "repro-schedule/2"
 
 PathLike = Union[str, Path]
 
@@ -134,6 +138,7 @@ def schedule_to_dict(
                         "location": node,
                         "arrival_s": schedule.arrival[node],
                         "start_s": start,
+                        "wait_s": schedule.wait[node],
                         "finish_s": finish,
                         "charges": sorted(schedule.charges.get(node, ())),
                     }
@@ -151,6 +156,8 @@ def schedule_to_dict(
                     "location": v.sensor_id,
                     "arrival_s": v.arrival_s,
                     "start_s": v.arrival_s,
+                    # One-to-one planners never insert waits.
+                    "wait_s": 0.0,
                     "finish_s": v.finish_s,
                     "charges": [v.sensor_id],
                 }

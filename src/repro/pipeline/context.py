@@ -99,6 +99,9 @@ class PlanningContext:
         self._grid_index: Optional[GridIndex] = None
         self._coverage: Dict[int, FrozenSet[int]] = {}
         self._mis: Dict[Tuple[str, int], List[int]] = {}
+        self._stop_groups: Dict[
+            Tuple[int, ...], Dict[int, Tuple[int, ...]]
+        ] = {}
         self._aux: Dict[Tuple[str, int], nx.Graph] = {}
         self._core: Dict[Tuple[str, int], List[int]] = {}
         self._minmax: Dict[Any, Tuple[List[List[int]], float]] = {}
@@ -230,6 +233,39 @@ class PlanningContext:
             out[cand] = frozen
         return out
 
+    def sensor_stop_groups(
+        self, candidates: Sequence[int]
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Per-sensor stop-group index: sensor -> candidates whose
+        charging disk contains it (memoized per candidate set).
+
+        This is the coverage relation inverted — exactly the candidate
+        generator of the conflict engine
+        (:mod:`repro.core.conflicts`): two stops can violate the
+        no-simultaneous-charging constraint only when some sensor lies
+        in both disks, i.e. when they share a group. Consumers pass it
+        to :func:`repro.core.validation.validate_schedule` (as the
+        pipeline's :meth:`PlannedSchedule.validate` does) so repeated
+        validation of schedules over the same candidate set skips the
+        coverage inversion.
+        """
+        key = tuple(sorted(set(candidates)))
+        cached = self._stop_groups.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        coverage = self.coverage_for(key)
+        groups: Dict[int, List[int]] = {}
+        for cand in key:
+            for sensor in coverage[cand]:
+                groups.setdefault(sensor, []).append(cand)
+        frozen = {
+            sensor: tuple(members) for sensor, members in groups.items()
+        }
+        self._stop_groups[key] = frozen
+        return frozen
+
     def auxiliary_graph(
         self, mis_strategy: str = "min_degree", seed: int = 0
     ) -> nx.Graph:
@@ -328,6 +364,7 @@ class PlanningContext:
             "memo_misses": self.memo_misses,
             "minmax_solutions": len(self._minmax),
             "coverage_entries": len(self._coverage),
+            "stop_group_indexes": len(self._stop_groups),
             **{
                 f"distance_{k}": v for k, v in self.distance.stats().items()
             },

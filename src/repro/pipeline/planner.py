@@ -161,10 +161,20 @@ class PlannedSchedule:
 
         Multi-node schedules run the full Definition 1 validator;
         one-to-one schedules can only violate coverage (each visit
-        charges exactly one sensor at its own location).
+        charges exactly one sensor at its own location). When the
+        planning context is attached, the validator's conflict engine
+        reuses its memoized per-sensor stop-group index
+        (:meth:`~repro.pipeline.PlanningContext.sensor_stop_groups`)
+        instead of re-inverting the coverage relation per call.
         """
         if self.multi_node:
-            return validate_schedule(self.raw, required_sensors)
+            groups = None
+            if self.context is not None:
+                stops = self.raw.scheduled_stops()
+                requests = set(self.context.requests)
+                if all(s in requests for s in stops):
+                    groups = self.context.sensor_stop_groups(stops)
+            return validate_schedule(self.raw, required_sensors, groups)
         missing = sorted(set(required_sensors) - self.covered_sensors())
         return [
             ScheduleViolation(

@@ -14,6 +14,10 @@ Two pieces every replay needs:
   O(n²) scan — the sweep's cost is proportional to the number of
   *temporally overlapping* pairs, which for a feasible-by-construction
   schedule is near zero.
+
+The touching tolerance is the conflict engine's single project-wide
+:data:`repro.core.conflicts.OVERLAP_EPS` (re-exported here), so
+realized-timeline checks agree with the planner-side validator.
 """
 
 from __future__ import annotations
@@ -21,10 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.conflicts import OVERLAP_EPS
 from repro.core.schedule import ChargingSchedule
-
-#: Positive-length overlap shorter than this is treated as touching.
-OVERLAP_EPS = 1e-9
 
 
 @dataclass(frozen=True)

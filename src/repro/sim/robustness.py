@@ -18,19 +18,23 @@ seeded draws from a :class:`~repro.sim.faults.specs.FaultPlan` —
 breakdowns triggering the repair engine, droop/slowdown stretching the
 timeline — and reports violation probability, repairs and deferrals.
 
-Conflict detection is a start-time sweep
+Conflict detection on realized timelines is a start-time sweep
 (:func:`repro.sim.faults.timeline.overlapping_cross_pairs`), so a
 100-trial report costs O(n log n) per trial on conflict-free
-schedules instead of the quadratic all-pairs scan.
+schedules instead of the quadratic all-pairs scan; the planned-timeline
+slack statistic is the conflict engine's
+:func:`repro.core.conflicts.minimum_pairwise_slack` (re-exported here),
+built on the same per-sensor stop groups the validator sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.conflicts import minimum_pairwise_slack
 from repro.core.repair import RepairConfig
 from repro.core.schedule import ChargingSchedule
 from repro.sim.faults.executor import execute_with_faults
@@ -41,8 +45,6 @@ from repro.sim.faults.timeline import (
     ExecutedStop,
     overlapping_cross_pairs,
 )
-
-_OVERLAP_EPS = 1e-9
 
 
 @dataclass
@@ -139,61 +141,6 @@ class RobustnessReport:
             f"{self.mean_longest_delay_s / 3600:.2f}h "
             f"min_slack={self.min_pairwise_slack_s:.1f}s"
         )
-
-
-def minimum_pairwise_slack(schedule: ChargingSchedule) -> float:
-    """Smallest time gap between any two conflicting-disk stops on
-    different tours in the *planned* timeline.
-
-    ``inf`` when no cross-tour pair shares a disk. Negative slack would
-    mean a planned violation (the validator reports those directly).
-
-    Two disks conflict exactly when they share a sensor, so candidate
-    pairs are generated per shared sensor and each sensor's stop group
-    is swept in start order: still-open intervals are compared
-    directly, and for closed intervals only the per-tour maximum finish
-    matters (the gap ``start - finish`` is minimised by the latest
-    finish). This replaces the old all-pairs scan — cost is
-    O(Σ_s d_s log d_s) over disk occupancies ``d_s`` instead of
-    O(n²) over all stops.
-    """
-    best = float("inf")
-    by_sensor: Dict[int, List[int]] = {}
-    for u in schedule.scheduled_stops():
-        for sensor in schedule.coverage[u]:
-            by_sensor.setdefault(sensor, []).append(u)
-    for sensor in sorted(by_sensor):
-        group = by_sensor[sensor]
-        if len(group) < 2:
-            continue
-        entries = sorted(
-            (
-                (*schedule.stop_interval(u), schedule.tour_of[u], u)
-                for u in group
-            ),
-            key=lambda e: (e[0], e[3]),
-        )
-        #: tour -> latest finish among already-closed intervals.
-        closed_best: Dict[int, float] = {}
-        active: List[Tuple[float, float, int, int]] = []
-        for su, fu, tour, u in entries:
-            still_open: List[Tuple[float, float, int, int]] = []
-            for sa, fa, ta, a in active:
-                if fa <= su:
-                    closed_best[ta] = max(
-                        closed_best.get(ta, float("-inf")), fa
-                    )
-                else:
-                    still_open.append((sa, fa, ta, a))
-            active = still_open
-            for t, f in closed_best.items():
-                if t != tour:
-                    best = min(best, su - f)
-            for sa, fa, ta, a in active:
-                if ta != tour:
-                    best = min(best, max(su - fa, sa - fu))
-            active.append((su, fu, tour, u))
-    return best
 
 
 def robustness_report(

@@ -187,6 +187,24 @@ class TestSameTourRepeatedStops:
         offender = next(v for v in violations if v.kind == "disjointness")
         assert offender.nodes == (1,)
 
+    def test_intra_tour_duplicate_has_its_own_message(self):
+        """Regression: the detail used to read "appears on tours 2 and
+        2" for an intra-tour duplicate."""
+        sched = overlapping_fixture()
+        sched.append_stop(1, 1)
+        sched.tours[1].append(1)
+        violations = validate_schedule(sched, required_sensors=[])
+        offender = next(v for v in violations if v.kind == "disjointness")
+        assert offender.detail == "stop 1 appears twice on tour 1"
+
+    def test_cross_tour_duplicate_names_both_tours(self):
+        sched = overlapping_fixture()
+        sched.append_stop(0, 1)
+        sched.tours[1].append(1)
+        violations = validate_schedule(sched, required_sensors=[])
+        offender = next(v for v in violations if v.kind == "disjointness")
+        assert offender.detail == "stop 1 appears on tours 0 and 1"
+
     def test_append_stop_refuses_repeat(self):
         sched = overlapping_fixture()
         sched.append_stop(0, 1)

@@ -78,3 +78,65 @@ class TestGridIndex:
     def test_empty_index(self):
         index = GridIndex({}, cell_size=1.0)
         assert index.within((0, 0), 100.0) == []
+
+
+class TestMinimalSpan:
+    """The span was tightened from ``ceil(r/cell) + 1`` to
+    ``ceil(r/cell)``; these pin the cases where the dropped ring would
+    have mattered if the proof were wrong — hits at exactly
+    ``d == radius`` landing on cell edges."""
+
+    def test_hit_at_exact_radius_on_cell_edge(self):
+        # Query from a cell corner; the hit sits exactly radius away on
+        # a grid line, in the outermost cell the minimal span scans.
+        index = GridIndex({0: Point(6.0, 0.0)}, cell_size=3.0)
+        assert index.within((0.0, 0.0), 6.0) == [0]
+
+    def test_hit_at_exact_radius_diagonal_cell_corner(self):
+        # Both coordinates on cell edges, center mid-cell: the hit's
+        # cell offset is exactly ceil(r/cell) in each axis.
+        index = GridIndex({0: Point(9.0, 9.0)}, cell_size=3.0)
+        center = (4.5, 4.5)
+        radius = ((9.0 - 4.5) ** 2 * 2) ** 0.5
+        assert index.within(center, radius) == [0]
+
+    def test_radius_exact_multiple_of_cell_size(self):
+        # r an exact multiple of the cell size: ceil(r/cell) has no
+        # slack at all, the edge hit is in the very last scanned cell.
+        pts = {i: Point(float(i), 0.0) for i in range(20)}
+        index = GridIndex(pts, cell_size=2.0)
+        got = set(index.within((0.0, 0.0), 10.0))
+        assert got == set(range(11))
+
+    def test_zero_radius_scans_only_own_cell(self):
+        # span = ceil(0/cell) = 0: only the query's own cell, and the
+        # d <= 0 filter keeps co-located points only.
+        index = GridIndex(
+            {0: Point(1.0, 1.0), 1: Point(1.5, 1.0)}, cell_size=3.0
+        )
+        assert index.within((1.0, 1.0), 0.0) == [0]
+
+    def test_negative_coordinates_cell_edges(self):
+        # floor() arithmetic must stay minimal on the negative side.
+        index = GridIndex({0: Point(-6.0, 0.0)}, cell_size=3.0)
+        assert index.within((0.0, 0.0), 6.0) == [0]
+
+    @pytest.mark.parametrize("cell", [0.7, 1.0, 2.7, 9.0])
+    def test_edge_grid_matches_brute_force(self, cell):
+        # Points planted *on* grid lines everywhere, queried with radii
+        # that land hits exactly on the boundary.
+        pts = {
+            i * 10 + j: Point(i * cell, j * cell)
+            for i in range(-3, 4)
+            for j in range(-3, 4)
+        }
+        index = GridIndex(pts, cell_size=cell)
+        for radius in (0.0, cell, 2 * cell, 2.5 * cell):
+            for center in ((0.0, 0.0), (cell / 2, cell / 2)):
+                expected = {
+                    lbl
+                    for lbl, p in pts.items()
+                    if euclidean(p, center) <= radius
+                }
+                got = set(index.within(center, radius))
+                assert got == expected, (cell, radius, center)

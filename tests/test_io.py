@@ -100,3 +100,52 @@ class TestScheduleSerialization:
         path.write_text(json.dumps({"format": "nope"}))
         with pytest.raises(ValueError):
             load_schedule_report(path)
+
+
+class TestWaitField:
+    """v2 of the schedule format carries per-stop ``wait_s``."""
+
+    def test_format_was_bumped_for_wait_s(self):
+        assert SCHEDULE_FORMAT == "repro-schedule/2"
+
+    def _conflicted_schedule(self, depleted_net):
+        from repro.core.validation import resolve_conflicts
+
+        requests = depleted_net.all_sensor_ids()
+        schedule = appro_schedule(
+            depleted_net, requests, 2, enforce_feasibility=False
+        )
+        resolve_conflicts(schedule)
+        return schedule
+
+    def test_wait_s_round_trips(self, depleted_net, tmp_path):
+        schedule = self._conflicted_schedule(depleted_net)
+        path = tmp_path / "sched.json"
+        save_schedule(schedule, path, algorithm="Appro")
+        report = load_schedule_report(path)
+        for veh in report["vehicles"]:
+            for stop in veh["stops"]:
+                node = stop["location"]
+                assert stop["wait_s"] == schedule.wait[node]
+                # The invariant a consumer would otherwise re-derive:
+                assert stop["start_s"] == pytest.approx(
+                    stop["arrival_s"] + stop["wait_s"]
+                )
+
+    def test_inserted_wait_is_visible(self, depleted_net):
+        schedule = self._conflicted_schedule(depleted_net)
+        schedule.add_wait(schedule.scheduled_stops()[0], 123.5)
+        report = schedule_to_dict(schedule)
+        waits = [
+            s["wait_s"] for v in report["vehicles"] for s in v["stops"]
+        ]
+        assert any(w >= 123.5 for w in waits)
+
+    def test_baseline_stops_report_zero_wait(self, depleted_net):
+        requests = depleted_net.all_sensor_ids()
+        schedule = kedf_schedule(depleted_net, requests, 2)
+        report = schedule_to_dict(schedule)
+        for veh in report["vehicles"]:
+            for stop in veh["stops"]:
+                assert stop["wait_s"] == 0.0
+                assert stop["start_s"] == stop["arrival_s"]

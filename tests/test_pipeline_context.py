@@ -98,6 +98,31 @@ class TestMemoizedValues:
         assert ctx.memo_misses == misses
         assert ctx.memo_hits > 0
 
+    def test_sensor_stop_groups_invert_coverage(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        candidates = ctx.sojourn_candidates()
+        coverage = ctx.coverage_for(candidates)
+        groups = ctx.sensor_stop_groups(candidates)
+        for cand, covered in coverage.items():
+            for sensor in covered:
+                assert cand in groups[sensor]
+        for sensor, members in groups.items():
+            for cand in members:
+                assert sensor in coverage[cand]
+
+    def test_sensor_stop_groups_are_memoized(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        candidates = ctx.sojourn_candidates()
+        first = ctx.sensor_stop_groups(candidates)
+        hits = ctx.memo_hits
+        # Order and duplicates must not defeat the memo key.
+        again = ctx.sensor_stop_groups(
+            list(reversed(candidates)) + [candidates[0]]
+        )
+        assert again is first
+        assert ctx.memo_hits == hits + 1
+        assert ctx.stats()["stop_group_indexes"] == 1
+
     def test_minmax_tours_returns_defensive_copies(self, depleted_net):
         requests = depleted_net.all_sensor_ids()[:12]
         ctx = PlanningContext(depleted_net, requests)
