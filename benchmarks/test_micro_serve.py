@@ -1,0 +1,127 @@
+"""Micro-benchmark: batch-service context sharing on one network.
+
+A batch of jobs on the *same* WRSN is the service's home ground: the
+first job of the group pays for distances, the charging graph, MIS and
+coverage; every following job reuses the warm
+:class:`~repro.pipeline.PlanningContext`. This module runs one batch
+twice through :class:`~repro.serve.PlanningService` — contexts shared,
+then deliberately cold (``share_contexts=False``) — and asserts the
+shared run has at least 2× the throughput, with the reuse visible in
+the per-result cache counters.
+
+Run standalone (e.g. from CI) with::
+
+    python benchmarks/test_micro_serve.py --quick
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.network.topology import WRSN, random_wrsn
+from repro.serve import JobResult, PlanJob, PlanningService
+
+N = 200
+JOBS = 12
+SPEEDUP_FLOOR = 2.0
+
+
+def make_instance(num_sensors: int = N) -> WRSN:
+    net = random_wrsn(num_sensors=num_sensors, seed=301)
+    rng = np.random.default_rng(302)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0, 0.2)) * 10_800.0
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net
+
+
+def make_batch(net: WRSN, num_jobs: int = JOBS) -> List[PlanJob]:
+    """One group: every job on the same network and request set."""
+    requests = tuple(net.all_sensor_ids())
+    planners = ("Appro", "K-minMax", "K-EDF")
+    return [
+        PlanJob(
+            network=net,
+            request_ids=requests,
+            num_chargers=1 + j % 3,
+            planner=planners[j % len(planners)],
+            job_id=f"job-{j}",
+        )
+        for j in range(num_jobs)
+    ]
+
+
+def time_warm_and_cold(
+    jobs: List[PlanJob],
+) -> Tuple[float, float, List[JobResult], List[JobResult]]:
+    """Seconds for a context-sharing run and a cold per-job run."""
+    warm_service = PlanningService(share_contexts=True)
+    t0 = time.perf_counter()
+    warm = warm_service.run(jobs)
+    warm_s = time.perf_counter() - t0
+
+    cold_service = PlanningService(share_contexts=False)
+    t0 = time.perf_counter()
+    cold = cold_service.run(jobs)
+    cold_s = time.perf_counter() - t0
+
+    # Sharing must not change any schedule.
+    assert [r.parity_key() for r in warm] == [r.parity_key() for r in cold]
+    return warm_s, cold_s, warm, cold
+
+
+def test_shared_contexts_double_throughput():
+    jobs = make_batch(make_instance())
+    warm_s, cold_s, warm, cold = time_warm_and_cold(jobs)
+    assert all(r.ok for r in warm)
+    # Reuse is observable: later jobs report a warm context and the
+    # group's memo counters keep growing, while the cold run never
+    # reuses anything.
+    assert sum(r.context_reused for r in warm) == len(jobs) - 1
+    assert all(not r.context_reused for r in cold)
+    assert sum(r.cache["memo_hits"] for r in warm) > sum(
+        r.cache["memo_hits"] for r in cold
+    )
+    assert cold_s >= warm_s * SPEEDUP_FLOOR, (
+        f"shared-context batch not {SPEEDUP_FLOOR}x faster: "
+        f"warm={warm_s:.3f}s cold={cold_s:.3f}s "
+        f"({cold_s / warm_s:.1f}x)"
+    )
+
+
+def main(quick: bool = False) -> int:
+    num_sensors = 80 if quick else N
+    floor = 1.5 if quick else SPEEDUP_FLOOR
+    jobs = make_batch(make_instance(num_sensors))
+    warm_s, cold_s, warm, _cold = time_warm_and_cold(jobs)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    reused = sum(r.context_reused for r in warm)
+    print(f"n={num_sensors} jobs={len(jobs)} (one group)")
+    print(f"shared contexts : {warm_s * 1000:8.1f} ms")
+    print(f"cold contexts   : {cold_s * 1000:8.1f} ms")
+    print(f"speedup         : {speedup:8.1f}x (floor {floor}x)")
+    print(f"context reuses  : {reused}/{len(jobs) - 1}")
+    print(f"memo hits       : "
+          f"{sum(r.cache['memo_hits'] for r in warm)}")
+    if speedup < floor:
+        print("FAIL: context sharing is below the speedup floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload and a softer floor (CI smoke)",
+    )
+    sys.exit(main(quick=parser.parse_args().quick))

@@ -69,8 +69,13 @@ def run_campaign(
     horizon_days: float = 40.0,
     figures: Sequence[str] = ("fig3", "fig4", "fig5"),
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run the selected figures at the given scale.
+
+    ``workers > 1`` fans the simulation cells of each figure out over
+    the batch-service worker pool; results are identical to a serial
+    run.
 
     Raises:
         KeyError: on an unknown figure key.
@@ -85,6 +90,7 @@ def run_campaign(
             instances=instances,
             horizon_s=horizon_days * 86400.0,
             progress=progress,
+            workers=workers,
         )
     campaign.wall_clock_s = time.time() - start
     return campaign

@@ -37,6 +37,7 @@ def fig3_network_size(
     horizon_s: Optional[float] = None,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     progress=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig. 3: vary the network size ``n`` with ``K = 2`` chargers."""
     base = PaperParams(num_chargers=2)
@@ -46,7 +47,7 @@ def fig3_network_size(
     ]
     return run_sweep(
         "fig3", "n", points, algorithms=algorithms, instances=instances,
-        horizon_s=horizon_s, progress=progress,
+        horizon_s=horizon_s, progress=progress, workers=workers,
     )
 
 
@@ -56,6 +57,7 @@ def fig4_data_rate(
     horizon_s: Optional[float] = None,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     progress=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig. 4: vary ``b_max`` with ``n = 1000`` and ``K = 2``."""
     base = PaperParams(num_sensors=1000, num_chargers=2)
@@ -69,6 +71,7 @@ def fig4_data_rate(
     return run_sweep(
         "fig4", "b_max_kbps", points, algorithms=algorithms,
         instances=instances, horizon_s=horizon_s, progress=progress,
+        workers=workers,
     )
 
 
@@ -78,6 +81,7 @@ def fig5_num_chargers(
     horizon_s: Optional[float] = None,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     progress=None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Fig. 5: vary ``K`` with ``n = 1000`` sensors."""
     base = PaperParams(num_sensors=1000)
@@ -87,5 +91,5 @@ def fig5_num_chargers(
     ]
     return run_sweep(
         "fig5", "K", points, algorithms=algorithms, instances=instances,
-        horizon_s=horizon_s, progress=progress,
+        horizon_s=horizon_s, progress=progress, workers=workers,
     )

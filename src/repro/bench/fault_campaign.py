@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.bench.workloads import PaperParams, make_instance
 from repro.core.repair import RepairConfig
+from repro.serve.pool import PoolConfig, TaskOutcome, run_tasks
 from repro.sim.faults.executor import execute_with_faults
 from repro.sim.faults.injector import draw_round_faults
 from repro.sim.faults.scenarios import get_scenario
@@ -87,6 +88,76 @@ class FaultCampaignResult:
         return "\n".join(lines)
 
 
+def _campaign_row(payload: Dict) -> FaultCampaignRow:
+    """One algorithm's full campaign — the pool unit.
+
+    Self-contained on purpose: the instance and residual draw are
+    rebuilt from the seed inside the worker (both are deterministic),
+    so a pooled campaign is byte-identical to a serial one and the
+    cross-process payload carries no network objects.
+    """
+    plan: FaultPlan = payload["plan"]
+    name: str = payload["algorithm"]
+    num_sensors: int = payload["num_sensors"]
+    num_chargers: int = payload["num_chargers"]
+    trials: int = payload["trials"]
+    seed: int = payload["seed"]
+    repair_config: Optional[RepairConfig] = payload["repair_config"]
+
+    params = PaperParams(num_sensors=num_sensors, num_chargers=num_chargers)
+    network = make_instance(params, seed=seed)
+    rng = np.random.default_rng(seed + 7)
+    network.set_residuals(
+        {
+            sid: float(rng.uniform(0.0, params.request_threshold))
+            * params.capacity_j
+            for sid in network.all_sensor_ids()
+        }
+    )
+    requests = network.all_sensor_ids()
+    lifetimes: Dict[int, float] = {sid: math.inf for sid in requests}
+    sensor_ids = sorted(requests)
+
+    spec = ALGORITHMS[name]
+    schedule = spec.run(
+        network, requests, num_chargers,
+        charger=params.charger(), lifetimes=lifetimes,
+    )
+    planned = schedule.longest_delay()
+    violation_trials: Optional[int] = 0 if spec.multi_node else None
+    breakdowns = 0
+    repairs = 0
+    deferred = 0
+    degraded = 0
+    realized: List[float] = []
+    for trial in range(trials):
+        faults = draw_round_faults(
+            plan, trial, num_chargers, sensor_ids=sensor_ids
+        )
+        outcome = execute_with_faults(
+            schedule, faults, repair_config=repair_config
+        )
+        if violation_trials is not None and outcome.violation_count:
+            violation_trials += 1
+        if outcome.breakdown_time_s is not None:
+            breakdowns += 1
+        repairs += outcome.repairs
+        deferred += len(outcome.deferred_sensors)
+        if outcome.degraded:
+            degraded += 1
+        realized.append(outcome.realized_delay_s)
+    return FaultCampaignRow(
+        algorithm=name,
+        planned_delay_s=planned,
+        mean_realized_delay_s=sum(realized) / len(realized),
+        violation_trials=violation_trials,
+        breakdown_trials=breakdowns,
+        total_repairs=repairs,
+        total_deferred=deferred,
+        degraded_trials=degraded,
+    )
+
+
 def run_fault_campaign(
     scenario: Union[FaultPlan, str] = "breakdown",
     algorithms: Optional[Sequence[str]] = None,
@@ -96,6 +167,7 @@ def run_fault_campaign(
     seed: int = 0,
     repair_config: Optional[RepairConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> FaultCampaignResult:
     """Compare algorithms under identical fault seeds.
 
@@ -113,9 +185,14 @@ def run_fault_campaign(
         seed: instance seed and (for named scenarios) fault seed.
         repair_config: repair tuning for breakdown trials.
         progress: optional callback for per-algorithm status lines.
+        workers: campaign worker processes (one algorithm per task);
+            ``1`` runs in-process. Results are identical either way.
 
     Returns:
         The :class:`FaultCampaignResult`, algorithms in run order.
+
+    Raises:
+        RuntimeError: when any algorithm's campaign task fails.
     """
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
@@ -131,19 +208,6 @@ def run_fault_campaign(
         else scenario
     )
 
-    params = PaperParams(num_sensors=num_sensors, num_chargers=num_chargers)
-    network = make_instance(params, seed=seed)
-    rng = np.random.default_rng(seed + 7)
-    network.set_residuals(
-        {
-            sid: float(rng.uniform(0.0, params.request_threshold))
-            * params.capacity_j
-            for sid in network.all_sensor_ids()
-        }
-    )
-    requests = network.all_sensor_ids()
-    lifetimes: Dict[int, float] = {sid: math.inf for sid in requests}
-
     result = FaultCampaignResult(
         scenario=plan.name,
         trials=trials,
@@ -151,53 +215,42 @@ def run_fault_campaign(
         num_chargers=num_chargers,
         seed=seed,
     )
-    sensor_ids = sorted(requests)
-    for name in names:
-        spec = ALGORITHMS[name]
-        schedule = spec.run(
-            network, requests, num_chargers,
-            charger=params.charger(), lifetimes=lifetimes,
+    payloads = [
+        {
+            "plan": plan,
+            "algorithm": name,
+            "num_sensors": num_sensors,
+            "num_chargers": num_chargers,
+            "trials": trials,
+            "seed": seed,
+            "repair_config": repair_config,
+        }
+        for name in names
+    ]
+
+    def _on_outcome(outcome: TaskOutcome) -> None:
+        if progress is None or not outcome.ok:
+            return
+        row: FaultCampaignRow = outcome.value
+        progress(
+            f"{row.algorithm}: planned {row.planned_delay_s / 3600:.2f}h, "
+            f"realized {row.mean_realized_delay_s / 3600:.2f}h, "
+            f"{row.total_repairs} repairs over {trials} trials"
         )
-        planned = schedule.longest_delay()
-        violation_trials: Optional[int] = 0 if spec.multi_node else None
-        breakdowns = 0
-        repairs = 0
-        deferred = 0
-        degraded = 0
-        realized: List[float] = []
-        for trial in range(trials):
-            faults = draw_round_faults(
-                plan, trial, num_chargers, sensor_ids=sensor_ids
-            )
-            outcome = execute_with_faults(
-                schedule, faults, repair_config=repair_config
-            )
-            if violation_trials is not None and outcome.violation_count:
-                violation_trials += 1
-            if outcome.breakdown_time_s is not None:
-                breakdowns += 1
-            repairs += outcome.repairs
-            deferred += len(outcome.deferred_sensors)
-            if outcome.degraded:
-                degraded += 1
-            realized.append(outcome.realized_delay_s)
-        row = FaultCampaignRow(
-            algorithm=name,
-            planned_delay_s=planned,
-            mean_realized_delay_s=sum(realized) / len(realized),
-            violation_trials=violation_trials,
-            breakdown_trials=breakdowns,
-            total_repairs=repairs,
-            total_deferred=deferred,
-            degraded_trials=degraded,
+
+    outcomes = run_tasks(
+        _campaign_row,
+        payloads,
+        config=PoolConfig(workers=workers),
+        progress=_on_outcome,
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} campaign task(s) failed; first: "
+            f"{failed[0].error}"
         )
-        result.rows.append(row)
-        if progress is not None:
-            progress(
-                f"{name}: planned {planned / 3600:.2f}h, realized "
-                f"{row.mean_realized_delay_s / 3600:.2f}h, "
-                f"{repairs} repairs over {trials} trials"
-            )
+    result.rows.extend(o.value for o in outcomes)
     return result
 
 

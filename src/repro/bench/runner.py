@@ -9,9 +9,10 @@ averages the two paper metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.workloads import PaperParams, make_instance
+from repro.serve.pool import PoolConfig, TaskOutcome, run_tasks
 from repro.sim.metrics import SimMetrics
 from repro.sim.scenario import get_algorithm
 from repro.sim.simulator import MonitoringSimulation
@@ -83,6 +84,24 @@ def simulate_once(
     return sim.run()
 
 
+def _sweep_cell(payload: Dict) -> Tuple[float, float]:
+    """One (point, algorithm, instance) simulation — the pool unit.
+
+    Module-level so the serve pool can pickle it; returns just the two
+    averaged paper metrics, keeping the cross-process payload small.
+    """
+    metrics = simulate_once(
+        payload["params"],
+        payload["algorithm"],
+        seed=payload["seed"],
+        horizon_s=payload["horizon_s"],
+    )
+    return (
+        metrics.mean_longest_delay_hours,
+        metrics.avg_dead_time_per_sensor_minutes,
+    )
+
+
 def run_sweep(
     name: str,
     x_label: str,
@@ -92,8 +111,15 @@ def run_sweep(
     horizon_s: Optional[float] = None,
     base_seed: int = 20190707,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run a full sweep and average the paper metrics.
+
+    Execution fans out over :func:`repro.serve.pool.run_tasks` — one
+    task per (point, algorithm, instance) cell — and the metric means
+    are folded from the ordered outcome list, so every worker count
+    (including the serial default) sums the same floats in the same
+    order and produces identical results.
 
     Args:
         name: experiment id (e.g. ``"fig3"``).
@@ -105,9 +131,13 @@ def run_sweep(
         base_seed: instance seeds are ``base_seed + 1009 * i``.
         progress: optional callback receiving one line per completed
             (point, algorithm) cell.
+        workers: simulation worker processes; ``1`` runs in-process.
 
     Returns:
         The populated :class:`ExperimentResult`.
+
+    Raises:
+        RuntimeError: when any simulation cell fails.
     """
     if instances <= 0:
         raise ValueError(f"instances must be positive, got {instances}")
@@ -117,26 +147,70 @@ def run_sweep(
     for alg in algorithms:
         result.mean_longest_delay_h[alg] = []
         result.avg_dead_min[alg] = []
+
+    payloads: List[Dict] = []
+    for point in points:
+        for alg in algorithms:
+            for i in range(instances):
+                payloads.append(
+                    {
+                        "params": point.params,
+                        "algorithm": alg,
+                        "seed": base_seed + 1009 * i,
+                        "horizon_s": horizon_s,
+                    }
+                )
+
+    num_algs = len(list(algorithms))
+    cell_values: Dict[int, List[Optional[Tuple[float, float]]]] = {}
+    cell_filled: Dict[int, int] = {}
+
+    def _on_outcome(outcome: TaskOutcome) -> None:
+        # Stream one progress line per fully-simulated (point, alg)
+        # cell; the authoritative fold below reuses the ordered
+        # outcome list, not this accumulator.
+        if progress is None or not outcome.ok:
+            return
+        cell, inst = divmod(outcome.index, instances)
+        cell_values.setdefault(cell, [None] * instances)[inst] = (
+            outcome.value
+        )
+        cell_filled[cell] = cell_filled.get(cell, 0) + 1
+        if cell_filled[cell] < instances:
+            return
+        values = cell_values.pop(cell)
+        point_i, alg_i = divmod(cell, num_algs)
+        delay_h = sum(v[0] for v in values) / instances
+        dead_min = sum(v[1] for v in values) / instances
+        progress(
+            f"{name} {x_label}={points[point_i].label} "
+            f"{list(algorithms)[alg_i]}: "
+            f"delay={delay_h:.2f}h dead={dead_min:.1f}min"
+        )
+
+    outcomes = run_tasks(
+        _sweep_cell,
+        payloads,
+        config=PoolConfig(workers=workers),
+        progress=_on_outcome,
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} sweep cell(s) failed; first: "
+            f"{failed[0].error}"
+        )
+
+    cursor = 0
     for point in points:
         result.x_values.append(point.label)
         for alg in algorithms:
-            delays: List[float] = []
-            deads: List[float] = []
-            for i in range(instances):
-                metrics = simulate_once(
-                    point.params, alg, seed=base_seed + 1009 * i,
-                    horizon_s=horizon_s,
-                )
-                delays.append(metrics.mean_longest_delay_hours)
-                deads.append(metrics.avg_dead_time_per_sensor_minutes)
+            cell = outcomes[cursor:cursor + instances]
+            cursor += instances
             result.mean_longest_delay_h[alg].append(
-                sum(delays) / len(delays)
+                sum(o.value[0] for o in cell) / instances
             )
-            result.avg_dead_min[alg].append(sum(deads) / len(deads))
-            if progress is not None:
-                progress(
-                    f"{name} {x_label}={point.label} {alg}: "
-                    f"delay={result.mean_longest_delay_h[alg][-1]:.2f}h "
-                    f"dead={result.avg_dead_min[alg][-1]:.1f}min"
-                )
+            result.avg_dead_min[alg].append(
+                sum(o.value[1] for o in cell) / instances
+            )
     return result

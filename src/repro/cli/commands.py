@@ -157,6 +157,7 @@ def cmd_bench(args) -> int:
         instances=args.instances,
         horizon_s=args.days * 86400.0,
         progress=lambda line: print(f"  .. {line}"),
+        workers=args.workers,
     )
     print()
     print(format_series_table(
@@ -196,6 +197,7 @@ def cmd_report(args) -> int:
         horizon_days=args.days,
         figures=tuple(args.figures),
         progress=lambda line: print(f"  .. {line}"),
+        workers=args.workers,
     )
     paths = write_campaign(campaign, args.output_dir)
     print(f"report : {paths['report']}")
@@ -337,6 +339,7 @@ def cmd_faults(args) -> int:
         trials=trials,
         seed=args.seed,
         progress=lambda line: print(f"  {line}"),
+        workers=args.workers,
     )
     print()
     print(result.format_table())
@@ -348,6 +351,79 @@ def cmd_faults(args) -> int:
             f"{trials} fault trials: {worst}"
         )
     return 0
+
+
+def _write_demo_jobs(path: str) -> None:
+    """A small self-contained batch: 2 networks × 3 planners × K∈{1,2}."""
+    from repro.serve import PlanJob, save_jobs
+
+    jobs = []
+    for net_seed in (11, 12):
+        net = random_wrsn(num_sensors=30, seed=net_seed)
+        rng = np.random.default_rng(net_seed + 1)
+        net.set_residuals(
+            {
+                sid: float(rng.uniform(0.0, 0.2))
+                * net.sensor(sid).capacity_j
+                for sid in net.all_sensor_ids()
+            }
+        )
+        requests = tuple(net.all_sensor_ids())
+        for planner in ("Appro", "K-minMax", "K-EDF"):
+            for k in (1, 2):
+                jobs.append(
+                    PlanJob(
+                        network=net,
+                        request_ids=requests,
+                        num_chargers=k,
+                        planner=planner,
+                    )
+                )
+    save_jobs(jobs, path)
+
+
+def cmd_serve(args) -> int:
+    """Run a JSONL job batch through the batch planning service."""
+    from repro.io import dump_jsonl_line
+    from repro.serve import PlanningService, load_jobs
+
+    if args.demo:
+        _write_demo_jobs(args.jobs)
+        print(f"wrote demo batch: {args.jobs}", file=sys.stderr)
+    jobs = load_jobs(args.jobs)
+    service = PlanningService(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_retries=args.retries,
+        backoff_s=args.backoff,
+        share_contexts=not args.no_shared_context,
+    )
+    t0 = time.time()
+    results = service.run(
+        jobs,
+        progress=lambda r: print(
+            f"  {r.job_id}: {r.status} ({r.planner}, K={r.num_chargers})",
+            file=sys.stderr,
+        ),
+    )
+    elapsed = time.time() - t0
+    lines = "".join(
+        dump_jsonl_line(r.to_dict()) + "\n" for r in results
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(lines)
+    else:
+        sys.stdout.write(lines)
+    stats = service.stats()
+    print(
+        f"{stats['jobs']} jobs in {elapsed:.2f}s: {stats['ok']} ok, "
+        f"{stats['errors']} errors, {stats['timeouts']} timeouts "
+        f"({stats['groups']} groups, {stats['context_reuses']} context "
+        f"reuses, {stats['memo_hits']} memo hits)",
+        file=sys.stderr,
+    )
+    return 0 if stats["ok"] == stats["jobs"] else 1
 
 
 def cmd_lint(args) -> int:

@@ -94,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--plot", action="store_true", help="also render ASCII plots"
     )
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (default: 1, in-process)",
+    )
     bench.set_defaults(func=commands.cmd_bench)
 
     cmp_ = sub.add_parser(
@@ -118,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument(
         "--figures", nargs="+", choices=["fig3", "fig4", "fig5"],
         default=["fig3", "fig4", "fig5"],
+    )
+    rep.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (default: 1, in-process)",
     )
     rep.set_defaults(func=commands.cmd_report)
 
@@ -156,7 +164,53 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_BENCH_FAULT_TRIALS or 100)",
     )
     flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument(
+        "--workers", type=int, default=1,
+        help="campaign worker processes, one algorithm per task "
+        "(default: 1, in-process)",
+    )
     flt.set_defaults(func=commands.cmd_faults)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run a JSONL batch of planning jobs through the "
+        "cache-sharing worker pool",
+    )
+    srv.add_argument(
+        "jobs",
+        help="repro-job/1 JSONL file (see 'serve --demo' for a sample)",
+    )
+    srv.add_argument(
+        "-o", "--output",
+        help="write repro-result/1 JSONL here (default: stdout)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1, in-process)",
+    )
+    srv.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job execution bound in seconds (default: none)",
+    )
+    srv.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts for failed jobs (default: 0)",
+    )
+    srv.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="base retry backoff in seconds, doubled per wave "
+        "(default: 0)",
+    )
+    srv.add_argument(
+        "--no-shared-context", action="store_true",
+        help="build a cold, unshared planning context per job",
+    )
+    srv.add_argument(
+        "--demo", action="store_true",
+        help="first write a small demo job batch to the JOBS path, "
+        "then run it",
+    )
+    srv.set_defaults(func=commands.cmd_serve)
 
     ins = sub.add_parser(
         "inspect",

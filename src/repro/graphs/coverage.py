@@ -41,9 +41,16 @@ def coverage_sets(
     index = GridIndex(
         {t: positions[t] for t in target_ids}, cell_size=radius_m
     )
+    # One vectorised bulk query for all candidates; membership is
+    # identical to per-candidate index.within() calls (same hypot, same
+    # inclusive boundary), which tests/test_coverage_vectorised.py pins.
+    cand_list = list(candidates)
+    rows = index.within_bulk(
+        [positions[cand] for cand in cand_list], radius_m
+    )
     result: Dict[int, FrozenSet[int]] = {}
-    for cand in candidates:
-        covered = set(index.within(positions[cand], radius_m))
+    for cand, row in zip(cand_list, rows):
+        covered = set(row)
         covered.add(cand)
         result[cand] = frozenset(covered)
     return result

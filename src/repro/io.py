@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterable, List, Union
 
 from repro.baselines.common import BaselineSchedule
 from repro.core.schedule import ChargingSchedule
@@ -31,8 +31,57 @@ WRSN_FORMAT = "repro-wrsn/1"
 #: distinguish a scheduled wait from slow travel without re-deriving it
 #: from ``start_s - arrival_s`` float arithmetic.
 SCHEDULE_FORMAT = "repro-schedule/2"
+#: One planning job of the batch service (:mod:`repro.serve`): planner
+#: name, request set, ``K``, and a network carried inline, by label
+#: reference, or by instance-file path.
+JOB_FORMAT = "repro-job/1"
+#: One batch-service result: job id, status, the ``repro-schedule/2``
+#: document, attempt count and cache/timing diagnostics.
+RESULT_FORMAT = "repro-result/1"
 
 PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSON Lines
+# ----------------------------------------------------------------------
+
+def read_jsonl(path: PathLike) -> List[Dict]:
+    """Read a JSON Lines file into a list of dicts (blank lines skipped).
+
+    Raises:
+        ValueError: when a non-blank line is not a JSON object.
+    """
+    rows: List[Dict] = []
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        if not isinstance(row, dict):
+            raise ValueError(
+                f"{path}:{lineno}: expected a JSON object per line, "
+                f"got {type(row).__name__}"
+            )
+        rows.append(row)
+    return rows
+
+
+def dump_jsonl_line(row: Dict) -> str:
+    """One canonical JSON Lines record (sorted keys, no padding).
+
+    The canonical form is what the parity suite byte-compares, so both
+    the batch-service CLI and tests must serialize through it.
+    """
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(rows: Iterable[Dict], path: PathLike) -> None:
+    """Write dicts to a JSON Lines file, one canonical record per line."""
+    Path(path).write_text(
+        "".join(dump_jsonl_line(row) + "\n" for row in rows)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -11,8 +11,9 @@ The architecture is a strict DAG of layers; an import may only point
     layer 5   baselines
     layer 6   pipeline
     layer 7   sim, io
-    layer 8   bench, viz
-    layer 9   cli
+    layer 8   serve
+    layer 9   bench, viz
+    layer 10  cli
 
 (This refines ISSUE/DESIGN's ``geometry → graphs/energy → core/tours →
 baselines/sim → bench/cli/viz`` sketch with the two substrate layers —
@@ -49,9 +50,10 @@ LAYERS: Dict[str, int] = {
     "pipeline": 6,
     "io": 7,
     "sim": 7,
-    "bench": 8,
-    "viz": 8,
-    "cli": 9,
+    "serve": 8,
+    "bench": 9,
+    "viz": 9,
+    "cli": 10,
 }
 
 #: Modules of the root package exempt from the contract: the package

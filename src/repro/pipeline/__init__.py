@@ -26,12 +26,19 @@ from repro.pipeline.planner import (
     planner_names,
     register_planner,
     run_planner,
+    unregister_planner,
+)
+from repro.pipeline.snapshot import (
+    ContextSnapshot,
+    restore_context,
+    snapshot_context,
 )
 
 # Importing the module registers the built-in planners.
 from repro.pipeline import planners as _planners  # noqa: F401
 
 __all__ = [
+    "ContextSnapshot",
     "PlannedSchedule",
     "Planner",
     "PlannerInfo",
@@ -39,6 +46,9 @@ __all__ = [
     "get_planner",
     "planner_names",
     "register_planner",
+    "restore_context",
     "run_planner",
     "shared_distance_cache",
+    "snapshot_context",
+    "unregister_planner",
 ]

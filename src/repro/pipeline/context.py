@@ -217,20 +217,27 @@ class PlanningContext:
         """
         out: Dict[int, FrozenSet[int]] = {}
         radius_m = self.charger.charge_radius_m
+        fresh: List[int] = []
         for cand in candidates:
             cached = self._coverage.get(cand)
             if cached is not None:
                 self.memo_hits += 1
                 out[cand] = cached
-                continue
-            self.memo_misses += 1
-            covered = set(
-                self.grid_index.within(self.positions[cand], radius_m)
+            else:
+                self.memo_misses += 1
+                fresh.append(cand)
+        if fresh:
+            # All uncached candidates in one vectorised bulk query;
+            # membership matches per-candidate grid_index.within().
+            rows = self.grid_index.within_bulk(
+                [self.positions[cand] for cand in fresh], radius_m
             )
-            covered.add(cand)
-            frozen = frozenset(covered)
-            self._coverage[cand] = frozen
-            out[cand] = frozen
+            for cand, row in zip(fresh, rows):
+                covered = set(row)
+                covered.add(cand)
+                frozen = frozenset(covered)
+                self._coverage[cand] = frozen
+                out[cand] = frozen
         return out
 
     def sensor_stop_groups(

@@ -85,6 +85,23 @@ def register_planner(info: PlannerInfo) -> PlannerInfo:
     return info
 
 
+def unregister_planner(name: str) -> PlannerInfo:
+    """Remove a planner from the registry and return its info.
+
+    Exists for test fixtures and plug-in teardown; the built-in
+    planners are registered for the life of the process.
+
+    Raises:
+        KeyError: for unknown names, listing the known ones.
+    """
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise KeyError(
+            f"unknown planner {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
 def get_planner(name: str) -> PlannerInfo:
     """Look up a registered planner.
 
@@ -247,4 +264,5 @@ __all__ = [
     "planner_names",
     "register_planner",
     "run_planner",
+    "unregister_planner",
 ]

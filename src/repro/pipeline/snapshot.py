@@ -1,0 +1,153 @@
+"""Picklable snapshots of a warm :class:`PlanningContext`.
+
+The batch service (:mod:`repro.serve`) ships planning work to worker
+processes. A context warmed in one process is useless there unless its
+memoized state can cross the pickle boundary — but a live
+:class:`~repro.pipeline.context.PlanningContext` holds a reference to
+the process-wide shared distance cache and to ``networkx`` graphs whose
+adjacency iteration order must be preserved exactly for downstream MIS
+passes to stay deterministic.
+
+:func:`snapshot_context` therefore captures the memoized fields into a
+plain-data :class:`ContextSnapshot` (graphs become explicit node/edge
+lists in insertion order), and :func:`restore_context` rebuilds a
+context around a network instance and re-injects every memo. A restored
+context answers every query from its memos — byte-identical to the
+warm original — and falls through to the ordinary lazy computations for
+anything not captured.
+
+The snapshot deliberately does *not* carry the network: the service
+ships networks once per job group, and a snapshot must stay valid for
+any structurally identical copy (e.g. one rebuilt from
+:func:`repro.io.wrsn_from_dict` in a worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+import networkx as nx
+
+from repro.energy.charging import ChargerSpec
+from repro.network.topology import WRSN
+from repro.pipeline.context import PlanningContext
+
+#: (nodes in insertion order, edges as (u, v, attrs) in insertion
+#: order) — enough to rebuild a graph with identical iteration order.
+GraphData = Tuple[Tuple[Any, ...], Tuple[Tuple[Any, Any, Dict], ...]]
+
+
+def _graph_to_data(graph: nx.Graph) -> GraphData:
+    return (
+        tuple(graph.nodes),
+        tuple((u, v, dict(attrs)) for u, v, attrs in graph.edges(data=True)),
+    )
+
+
+def _graph_from_data(data: GraphData) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(data[0])
+    for u, v, attrs in data[1]:
+        graph.add_edge(u, v, **attrs)
+    return graph
+
+
+@dataclass
+class ContextSnapshot:
+    """Plain-data capture of a context's memoized state.
+
+    Every field mirrors one memo of
+    :class:`~repro.pipeline.context.PlanningContext`; all values are
+    picklable built-ins (graphs stored as node/edge lists).
+    """
+
+    requests: Tuple[int, ...]
+    charger: ChargerSpec
+    charge_times: Dict[int, float] = field(default_factory=dict)
+    charging_graph: Any = None  # Optional[GraphData]
+    mis: Dict[Tuple[str, int], List[int]] = field(default_factory=dict)
+    coverage: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    stop_groups: Dict[Tuple[int, ...], Dict[int, Tuple[int, ...]]] = field(
+        default_factory=dict
+    )
+    aux: Dict[Tuple[str, int], GraphData] = field(default_factory=dict)
+    core: Dict[Tuple[str, int], List[int]] = field(default_factory=dict)
+    minmax: Dict[Any, Tuple[List[List[int]], float]] = field(
+        default_factory=dict
+    )
+
+
+def snapshot_context(context: PlanningContext) -> ContextSnapshot:
+    """Capture a context's memoized state into a picklable snapshot.
+
+    Lazy memos that were never computed stay absent; restoring such a
+    snapshot simply leaves those computations to happen on demand.
+    """
+    return ContextSnapshot(
+        requests=context.requests,
+        charger=context.charger,
+        charge_times=dict(context._charge_times),
+        charging_graph=(
+            _graph_to_data(context._charging_graph)
+            if context._charging_graph is not None
+            else None
+        ),
+        mis={k: list(v) for k, v in context._mis.items()},
+        coverage=dict(context._coverage),
+        stop_groups={k: dict(v) for k, v in context._stop_groups.items()},
+        aux={k: _graph_to_data(g) for k, g in context._aux.items()},
+        core={k: list(v) for k, v in context._core.items()},
+        minmax={
+            k: ([list(t) for t in tours], delay)
+            for k, (tours, delay) in context._minmax.items()
+        },
+    )
+
+
+def restore_context(
+    snapshot: ContextSnapshot,
+    network: WRSN,
+    share_distances: bool = True,
+) -> PlanningContext:
+    """Rebuild a warm context from a snapshot around ``network``.
+
+    Args:
+        snapshot: a :func:`snapshot_context` capture.
+        network: the WRSN the snapshot's workload lives on — the
+            original instance or a structurally identical copy (same
+            sensor ids, positions and residuals).
+        share_distances: forwarded to :class:`PlanningContext`.
+
+    Raises:
+        ValueError: when the snapshot's request set names sensors the
+            network does not have.
+    """
+    context = PlanningContext(
+        network,
+        snapshot.requests,
+        charger=snapshot.charger,
+        share_distances=share_distances,
+    )
+    context._charge_times.update(snapshot.charge_times)
+    if snapshot.charging_graph is not None:
+        context._charging_graph = _graph_from_data(snapshot.charging_graph)
+    context._mis.update({k: list(v) for k, v in snapshot.mis.items()})
+    context._coverage.update(snapshot.coverage)
+    context._stop_groups.update(
+        {k: dict(v) for k, v in snapshot.stop_groups.items()}
+    )
+    context._aux.update(
+        {k: _graph_from_data(g) for k, g in snapshot.aux.items()}
+    )
+    context._core.update({k: list(v) for k, v in snapshot.core.items()})
+    context._minmax.update(
+        {
+            k: ([list(t) for t in tours], delay)
+            for k, (tours, delay) in snapshot.minmax.items()
+        }
+    )
+    return context
+
+
+__all__ = ["ContextSnapshot", "restore_context", "snapshot_context"]

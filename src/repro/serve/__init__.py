@@ -1,0 +1,69 @@
+"""Batch planning service over a cache-sharing worker pool.
+
+Many planning problems, one call::
+
+    from repro.serve import PlanJob, PlanningService
+
+    jobs = [
+        PlanJob(network, requests, num_chargers=k, planner=name)
+        for k in (1, 2, 3)
+        for name in ("Appro", "K-minMax")
+    ]
+    service = PlanningService(workers=4, timeout_s=60.0, max_retries=1)
+    results = service.run(jobs)          # one JobResult per job, in order
+    print(service.stats())
+
+Jobs sharing a network object form a group and reuse one warm
+:class:`~repro.pipeline.PlanningContext` (and distance cache) inside
+whichever worker runs them; failures come back as structured results
+instead of exceptions; and for any worker count the batch's ordered
+:meth:`~repro.serve.jobs.JobResult.parity_key` sequence is
+byte-identical to the sequential run's. On disk, batches are
+``repro-job/1`` JSONL files (:func:`~repro.serve.jobs.load_jobs`) and
+results ``repro-result/1`` lines — the ``repro serve`` CLI wires the
+two together.
+"""
+
+from repro.serve.jobs import (
+    JobResult,
+    PlanJob,
+    job_to_dict,
+    jobs_from_records,
+    jobs_to_jsonl,
+    load_jobs,
+    save_jobs,
+)
+from repro.serve.pool import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    PoolConfig,
+    TaskOutcome,
+    TaskTimeout,
+    call_with_timeout,
+    run_tasks,
+)
+from repro.serve.service import REQUIRED_VALUE_KEYS, PlanningService
+from repro.serve.workers import execute_plan_job, reset_worker_cache
+
+__all__ = [
+    "JobResult",
+    "PlanJob",
+    "PlanningService",
+    "PoolConfig",
+    "REQUIRED_VALUE_KEYS",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "TaskOutcome",
+    "TaskTimeout",
+    "call_with_timeout",
+    "execute_plan_job",
+    "job_to_dict",
+    "jobs_from_records",
+    "jobs_to_jsonl",
+    "load_jobs",
+    "reset_worker_cache",
+    "run_tasks",
+    "save_jobs",
+]

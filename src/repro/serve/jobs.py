@@ -1,0 +1,287 @@
+"""The batch-service job model: :class:`PlanJob` in, :class:`JobResult` out.
+
+A job names one planning problem — ``(network, request set, K,
+planner)`` — exactly the :func:`repro.pipeline.run_planner` signature.
+Jobs referencing the *same* :class:`~repro.network.topology.WRSN`
+object form a **group**: the service plans them against one shared
+``PlanningContext``/distance cache instead of re-paying cold
+construction per job.
+
+On disk a batch is a JSON Lines file (``repro-job/1``): each line is a
+job carrying its network inline (``"network"``), by reference to an
+earlier line's ``"network_id"`` label (``"network_ref"``), or by
+instance-file path (``"network_path"``). The loader resolves all three
+to shared ``WRSN`` objects, so on-disk sharing becomes in-memory
+grouping automatically. Results are written back as ``repro-result/1``
+lines.
+
+Byte-stable parity: :meth:`JobResult.parity_key` canonicalizes exactly
+the deterministic fields (id, status, planner, K, delay, schedule,
+error) — scheduling outputs, not scheduling diagnostics — which is
+what the determinism suite compares across executors and worker
+counts. Timings, attempt counts and cache counters legitimately vary
+between runs and stay out of the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.io import (
+    JOB_FORMAT,
+    RESULT_FORMAT,
+    PathLike,
+    dump_jsonl_line,
+    load_wrsn,
+    read_jsonl,
+    wrsn_from_dict,
+    wrsn_to_dict,
+)
+from repro.network.topology import WRSN
+
+
+@dataclass(frozen=True)
+class PlanJob:
+    """One planning problem for the batch service.
+
+    Attributes:
+        network: the WRSN instance. Jobs holding the *same object*
+            share one planning-context group.
+        request_ids: the to-be-charged set ``V_s``.
+        num_chargers: ``K``.
+        planner: registered planner name.
+        job_id: caller-chosen id echoed into the result; the service
+            assigns ``"job-<index>"`` when empty.
+    """
+
+    network: WRSN
+    request_ids: Tuple[int, ...]
+    num_chargers: int
+    planner: str = "Appro"
+    job_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_chargers <= 0:
+            raise ValueError(
+                f"num_chargers must be positive, got {self.num_chargers}"
+            )
+        if not self.request_ids:
+            raise ValueError("a PlanJob needs a non-empty request set")
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job, failed or not.
+
+    ``status`` is ``"ok"``, ``"error"`` or ``"timeout"``; failed jobs
+    carry ``error`` text and ``None`` scheduling fields. ``cache``
+    holds the worker-side context counters (``context_reused`` plus the
+    context's memo/distance stats) and ``plan_s``/``total_s`` the
+    in-worker and end-to-end seconds.
+    """
+
+    job_id: str
+    index: int
+    status: str
+    planner: str
+    num_chargers: int
+    group_key: str = ""
+    attempts: int = 1
+    longest_delay_s: Optional[float] = None
+    schedule: Optional[Dict] = None
+    error: Optional[str] = None
+    context_reused: bool = False
+    plan_s: float = 0.0
+    total_s: float = 0.0
+    cache: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def parity_key(self) -> str:
+        """Canonical JSON of the deterministic fields only.
+
+        Two runs of the same batch — sequential, pooled, any worker
+        count — must produce byte-identical parity keys in the same
+        order.
+        """
+        return dump_jsonl_line(
+            {
+                "job_id": self.job_id,
+                "index": self.index,
+                "status": self.status,
+                "planner": self.planner,
+                "num_chargers": self.num_chargers,
+                "longest_delay_s": self.longest_delay_s,
+                "schedule": self.schedule,
+                "error": self.error,
+            }
+        )
+
+    def to_dict(self) -> Dict:
+        """The full ``repro-result/1`` record."""
+        return {
+            "format": RESULT_FORMAT,
+            "id": self.job_id,
+            "index": self.index,
+            "status": self.status,
+            "planner": self.planner,
+            "num_chargers": self.num_chargers,
+            "group": self.group_key,
+            "attempts": self.attempts,
+            "longest_delay_s": self.longest_delay_s,
+            "schedule": self.schedule,
+            "error": self.error,
+            "context_reused": self.context_reused,
+            "plan_s": self.plan_s,
+            "total_s": self.total_s,
+            "cache": self.cache,
+        }
+
+
+# ----------------------------------------------------------------------
+# JSONL job files
+# ----------------------------------------------------------------------
+
+def job_to_dict(
+    job: PlanJob,
+    network_id: Optional[str] = None,
+    network_ref: Optional[str] = None,
+) -> Dict:
+    """One ``repro-job/1`` record.
+
+    Pass ``network_ref`` to point at an earlier record's
+    ``network_id`` instead of inlining the network again; pass
+    ``network_id`` to label this record's inline network for later
+    references.
+    """
+    record: Dict = {
+        "format": JOB_FORMAT,
+        "id": job.job_id,
+        "planner": job.planner,
+        "num_chargers": job.num_chargers,
+        "requests": list(job.request_ids),
+    }
+    if network_ref is not None:
+        record["network_ref"] = network_ref
+    else:
+        record["network"] = wrsn_to_dict(job.network)
+        if network_id is not None:
+            record["network_id"] = network_id
+    return record
+
+
+def jobs_to_jsonl(jobs: Sequence[PlanJob]) -> str:
+    """Serialize jobs to JSONL, inlining each distinct network once.
+
+    Jobs sharing a network object become ``network_ref`` lines, so the
+    on-disk file round-trips back into the same sharing structure.
+    """
+    lines: List[str] = []
+    seen: Dict[int, str] = {}
+    for i, job in enumerate(jobs):
+        key = id(job.network)
+        if key in seen:
+            record = job_to_dict(job, network_ref=seen[key])
+        else:
+            seen[key] = f"net-{len(seen)}"
+            record = job_to_dict(job, network_id=seen[key])
+        lines.append(dump_jsonl_line(record))
+    return "".join(line + "\n" for line in lines)
+
+
+def save_jobs(jobs: Sequence[PlanJob], path: PathLike) -> None:
+    """Write a batch to a ``repro-job/1`` JSONL file."""
+    Path(path).write_text(jobs_to_jsonl(jobs))
+
+
+def jobs_from_records(
+    records: Sequence[Dict], base_dir: Optional[PathLike] = None
+) -> List[PlanJob]:
+    """Materialize jobs from parsed ``repro-job/1`` records.
+
+    Network sharing is preserved: every ``network_ref`` (and repeated
+    ``network_path``) resolves to the same ``WRSN`` object, so the
+    service groups those jobs onto one shared context.
+
+    Raises:
+        ValueError: on a wrong format tag, a dangling ``network_ref``,
+            a record with no network at all, or an empty request set.
+    """
+    jobs: List[PlanJob] = []
+    by_label: Dict[str, WRSN] = {}
+    by_path: Dict[str, WRSN] = {}
+    for lineno, record in enumerate(records, start=1):
+        if record.get("format") != JOB_FORMAT:
+            raise ValueError(
+                f"job line {lineno}: not a {JOB_FORMAT} record: "
+                f"format={record.get('format')!r}"
+            )
+        if "network" in record:
+            network = wrsn_from_dict(record["network"])
+            label = record.get("network_id")
+            if label is not None:
+                by_label[str(label)] = network
+        elif "network_ref" in record:
+            label = str(record["network_ref"])
+            if label not in by_label:
+                raise ValueError(
+                    f"job line {lineno}: network_ref {label!r} does not "
+                    f"match any earlier network_id"
+                )
+            network = by_label[label]
+        elif "network_path" in record:
+            raw_path = str(record["network_path"])
+            resolved = (
+                str(Path(base_dir) / raw_path)
+                if base_dir is not None and not Path(raw_path).is_absolute()
+                else raw_path
+            )
+            if resolved not in by_path:
+                by_path[resolved] = load_wrsn(resolved)
+            network = by_path[resolved]
+        else:
+            raise ValueError(
+                f"job line {lineno}: needs one of 'network', "
+                f"'network_ref' or 'network_path'"
+            )
+        requests = record.get("requests")
+        if not requests:
+            raise ValueError(
+                f"job line {lineno}: needs a non-empty 'requests' list"
+            )
+        jobs.append(
+            PlanJob(
+                network=network,
+                request_ids=tuple(int(r) for r in requests),
+                num_chargers=int(record.get("num_chargers", 2)),
+                planner=str(record.get("planner", "Appro")),
+                job_id=str(record.get("id") or f"job-{lineno - 1}"),
+            )
+        )
+    return jobs
+
+
+def load_jobs(path: PathLike) -> List[PlanJob]:
+    """Read a ``repro-job/1`` JSONL file into jobs.
+
+    Relative ``network_path`` entries resolve against the job file's
+    directory.
+    """
+    return jobs_from_records(
+        read_jsonl(path), base_dir=Path(path).resolve().parent
+    )
+
+
+__all__ = [
+    "JobResult",
+    "PlanJob",
+    "job_to_dict",
+    "jobs_from_records",
+    "jobs_to_jsonl",
+    "load_jobs",
+    "save_jobs",
+]

@@ -1,0 +1,316 @@
+"""Generic ordered fan-out over a worker pool.
+
+:func:`run_tasks` is the execution engine under the batch planning
+service and the parallel figure campaigns: it maps a picklable
+top-level function over a payload list, either in-process (the default
+and fallback — zero surprise, zero pickling) or across a
+``concurrent.futures.ProcessPoolExecutor``, and returns one structured
+:class:`TaskOutcome` per payload **in payload order** regardless of
+completion order.
+
+Failure semantics are uniform across both executors:
+
+* an exception raised by the function becomes an ``"error"`` outcome
+  (siblings keep running — one poisoned payload never aborts a batch);
+* a task exceeding ``timeout_s`` becomes a ``"timeout"`` outcome. The
+  bound is enforced *inside* the executing process by running the call
+  on a watchdog thread, so serial and pooled execution time out
+  identically and a stuck task cannot wedge the pool's result loop;
+* failed tasks are retried up to ``max_retries`` times in later waves,
+  with exponential backoff between waves (``backoff_s · 2^(wave-1)``);
+  the final outcome records the total attempt count;
+* a worker process dying (``BrokenProcessPool``) fails only the tasks
+  in flight; the pool is rebuilt before the next retry wave.
+
+Determinism: outcomes are positionally stable and the function is
+expected to be a pure function of its payload, so any two runs — and
+any two worker counts — produce the same outcome values.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Outcome status values, in "worst wins" order for aggregation.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Execution knobs shared by every pool consumer.
+
+    Attributes:
+        workers: process count; ``1`` (the default) runs every task
+            in-process with no executor at all.
+        timeout_s: per-task execution bound, seconds; ``None`` = none.
+        max_retries: extra attempts granted to a failed task.
+        backoff_s: base of the exponential inter-wave backoff.
+        mp_context: multiprocessing start method (``"fork"``,
+            ``"spawn"``, ...); ``None`` uses the platform default.
+    """
+
+    workers: int = 1
+    timeout_s: Optional[float] = None
+    max_retries: int = 0
+    backoff_s: float = 0.0
+    mp_context: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout must be positive, got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one payload, across all its attempts."""
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class TaskTimeout(Exception):
+    """Raised inside the executing process when a task runs too long."""
+
+
+def backoff_delay_s(wave: int, backoff_s: float) -> float:
+    """Exponential backoff before retry wave ``wave`` (1-based)."""
+    if wave <= 0 or backoff_s <= 0:
+        return 0.0
+    return backoff_s * (2.0 ** (wave - 1))
+
+
+def call_with_timeout(
+    fn: Callable[[Any], Any], payload: Any, timeout_s: Optional[float]
+) -> Any:
+    """Run ``fn(payload)``, bounding its execution time.
+
+    The call runs on a daemon watchdog thread; on expiry the result is
+    abandoned (the thread finishes in the background) and
+    :class:`TaskTimeout` is raised immediately, so the caller — serial
+    loop or pool worker — reports the timeout promptly instead of
+    blocking on the slow task.
+    """
+    if timeout_s is None:
+        return fn(payload)
+    box: Dict[str, Any] = {}
+
+    def _target() -> None:
+        try:
+            box["value"] = fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - reraised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=_target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise TaskTimeout(
+            f"task exceeded its {timeout_s:g}s execution bound"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+def _pool_entry(
+    fn: Callable[[Any], Any], payload: Any, timeout_s: Optional[float]
+) -> Tuple[str, Any]:
+    """Worker-side wrapper: normal errors come back as values.
+
+    Only infrastructure failures (a dead worker, an unpicklable
+    return) surface through the future's exception channel.
+    """
+    try:
+        return (STATUS_OK, call_with_timeout(fn, payload, timeout_s))
+    except TaskTimeout as exc:
+        return (STATUS_TIMEOUT, str(exc))
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        return (STATUS_ERROR, f"{type(exc).__name__}: {exc}")
+
+
+def _attempt_serial(
+    fn: Callable[[Any], Any],
+    payload: Any,
+    timeout_s: Optional[float],
+    outcome: TaskOutcome,
+) -> None:
+    start = time.perf_counter()
+    status, value = _pool_entry(fn, payload, timeout_s)
+    outcome.elapsed_s += time.perf_counter() - start
+    outcome.attempts += 1
+    outcome.status = status
+    if status == STATUS_OK:
+        outcome.value, outcome.error = value, None
+    else:
+        outcome.value, outcome.error = None, str(value)
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    config: PoolConfig,
+    progress: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    outcomes = [
+        TaskOutcome(index=i, status=STATUS_ERROR)
+        for i in range(len(payloads))
+    ]
+    for i, payload in enumerate(payloads):
+        for wave in range(config.max_retries + 1):
+            if wave:
+                time.sleep(backoff_delay_s(wave, config.backoff_s))
+            _attempt_serial(fn, payload, config.timeout_s, outcomes[i])
+            if outcomes[i].ok:
+                break
+        if progress is not None:
+            progress(outcomes[i])
+    return outcomes
+
+
+def _run_pooled(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    config: PoolConfig,
+    progress: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    outcomes = [
+        TaskOutcome(index=i, status=STATUS_ERROR)
+        for i in range(len(payloads))
+    ]
+    mp_context = (
+        multiprocessing.get_context(config.mp_context)
+        if config.mp_context is not None
+        else None
+    )
+
+    def _make_executor() -> "ProcessPoolExecutor":
+        return ProcessPoolExecutor(
+            max_workers=config.workers, mp_context=mp_context
+        )
+
+    executor = _make_executor()
+    try:
+        pending = list(range(len(payloads)))
+        for wave in range(config.max_retries + 1):
+            if not pending:
+                break
+            if wave:
+                time.sleep(backoff_delay_s(wave, config.backoff_s))
+            futures: Dict[Future, int] = {}
+            submitted_at: Dict[int, float] = {}
+            broken = False
+            for i in pending:
+                submitted_at[i] = time.perf_counter()
+                futures[
+                    executor.submit(
+                        _pool_entry, fn, payloads[i], config.timeout_s
+                    )
+                ] = i
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    i = futures[future]
+                    outcome = outcomes[i]
+                    outcome.attempts += 1
+                    outcome.elapsed_s += (
+                        time.perf_counter() - submitted_at[i]
+                    )
+                    try:
+                        status, value = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        status, value = (
+                            STATUS_ERROR,
+                            "worker process died (BrokenProcessPool)",
+                        )
+                    except Exception as exc:  # unpicklable result etc.
+                        status, value = (
+                            STATUS_ERROR,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    outcome.status = status
+                    if status == STATUS_OK:
+                        outcome.value, outcome.error = value, None
+                    else:
+                        outcome.value, outcome.error = None, str(value)
+                    final = outcome.ok or wave == config.max_retries
+                    if final and progress is not None:
+                        progress(outcome)
+            pending = [i for i in pending if not outcomes[i].ok]
+            if broken:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = _make_executor()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return outcomes
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    config: Optional[PoolConfig] = None,
+    progress: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    """Map ``fn`` over ``payloads``; one outcome per payload, in order.
+
+    Args:
+        fn: a picklable module-level callable of one payload argument
+            (pool mode pickles both the function and each payload).
+        payloads: the work items.
+        config: execution knobs; defaults to serial in-process.
+        progress: optional callback invoked once per task with its
+            *final* outcome, in completion order.
+
+    Returns:
+        Outcomes positionally aligned with ``payloads``.
+    """
+    config = config if config is not None else PoolConfig()
+    if config.workers == 1:
+        return _run_serial(fn, payloads, config, progress)
+    return _run_pooled(fn, payloads, config, progress)
+
+
+__all__ = [
+    "PoolConfig",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "TaskOutcome",
+    "TaskTimeout",
+    "backoff_delay_s",
+    "call_with_timeout",
+    "run_tasks",
+]

@@ -1,0 +1,151 @@
+"""Worker-side job execution with per-process context-group caching.
+
+:func:`execute_plan_job` is the one function the batch service maps
+over its pool (it is module-level and takes a single payload dict, as
+:func:`repro.serve.pool.run_tasks` requires). Each worker process keeps
+a small LRU of **group states** — the network plus every
+:class:`~repro.pipeline.context.PlanningContext` built on it so far —
+so consecutive jobs from the same group land on a warm context instead
+of re-paying graph/MIS/coverage construction, and jobs with different
+request sets on the same network still share one distance cache
+(:func:`~repro.pipeline.context.shared_distance_cache` keys on the
+cached network *object*, which the group state pins).
+
+The cache key includes a per-service ``token``, so two service runs in
+one process never cross-pollinate, and the LRU bound keeps a
+long-lived worker from accumulating every network it ever saw.
+
+Serial execution uses exactly this function in-process, so the only
+difference between ``workers=1`` and ``workers=N`` is where the cache
+lives — never what gets computed. Context memoization is
+byte-transparent by construction (see
+:mod:`repro.pipeline.context`), which is what the parity suite pins.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.io import schedule_to_dict
+from repro.network.topology import WRSN
+from repro.pipeline import (
+    ContextSnapshot,
+    PlanningContext,
+    restore_context,
+    run_planner,
+)
+
+#: Group states retained per worker process before LRU eviction.
+MAX_CACHED_GROUPS = 8
+
+
+@dataclass
+class GroupState:
+    """Everything one job group shares inside a worker process."""
+
+    network: WRSN
+    #: One warm context per request set seen in this group.
+    contexts: Dict[Tuple[int, ...], PlanningContext] = field(
+        default_factory=dict
+    )
+
+
+_GROUP_CACHE: "OrderedDict[Tuple[str, str], GroupState]" = OrderedDict()
+
+
+def reset_worker_cache() -> None:
+    """Drop all cached group state (test isolation hook)."""
+    _GROUP_CACHE.clear()
+
+
+def _group_state(
+    token: str, group_key: str, network: WRSN
+) -> Tuple[GroupState, bool]:
+    """The cached state for a group, creating it from ``network``.
+
+    Returns ``(state, existed)``. When the group is already cached the
+    payload's network copy is discarded in favour of the pinned one —
+    that object identity is what makes the weak-keyed distance cache
+    shared across the group's jobs.
+    """
+    key = (token, group_key)
+    state = _GROUP_CACHE.get(key)
+    if state is not None:
+        _GROUP_CACHE.move_to_end(key)
+        return state, True
+    state = GroupState(network=network)
+    _GROUP_CACHE[key] = state
+    while len(_GROUP_CACHE) > MAX_CACHED_GROUPS:
+        _GROUP_CACHE.popitem(last=False)
+    return state, False
+
+
+def execute_plan_job(payload: Dict) -> Dict:
+    """Plan one job; the payload/result contract of the batch service.
+
+    Payload keys: ``token``, ``group_key``, ``network`` (a WRSN),
+    ``requests`` (id tuple), ``num_chargers``, ``planner``,
+    ``share_contexts`` (bool), optional ``warm_start`` (a
+    :class:`~repro.pipeline.ContextSnapshot` to seed a cold group
+    with).
+
+    Returns a dict with ``schedule`` (the ``repro-schedule/2``
+    document), ``longest_delay_s``, ``context_reused`` (an already-warm
+    context served this exact request set), ``plan_s`` and ``cache``
+    (context memo/distance counters after the run).
+    """
+    token = str(payload["token"])
+    group_key = str(payload["group_key"])
+    network: WRSN = payload["network"]
+    requests: Tuple[int, ...] = tuple(payload["requests"])
+    num_chargers = int(payload["num_chargers"])
+    planner = str(payload["planner"])
+    share_contexts = bool(payload.get("share_contexts", True))
+    warm_start: Optional[ContextSnapshot] = payload.get("warm_start")
+
+    start = time.perf_counter()
+    context_reused = False
+    if share_contexts:
+        state, _ = _group_state(token, group_key, network)
+        context = state.contexts.get(requests)
+        if context is not None:
+            context_reused = True
+        else:
+            if warm_start is not None and warm_start.requests == requests:
+                context = restore_context(warm_start, state.network)
+            else:
+                context = PlanningContext(state.network, requests)
+            state.contexts[requests] = context
+        run_network = state.network
+    else:
+        context = (
+            restore_context(
+                warm_start, network, share_distances=False
+            )
+            if warm_start is not None and warm_start.requests == requests
+            else PlanningContext(network, requests, share_distances=False)
+        )
+        run_network = network
+
+    planned = run_planner(
+        planner, run_network, requests, num_chargers, context=context
+    )
+    plan_s = time.perf_counter() - start
+    return {
+        "schedule": schedule_to_dict(planned, algorithm=planner),
+        "longest_delay_s": planned.longest_delay(),
+        "context_reused": context_reused,
+        "plan_s": plan_s,
+        "cache": context.stats(),
+    }
+
+
+__all__ = [
+    "GroupState",
+    "MAX_CACHED_GROUPS",
+    "execute_plan_job",
+    "reset_worker_cache",
+]

@@ -23,9 +23,10 @@ def fake_result():
 def stubbed_figures(monkeypatch):
     calls = {}
 
-    def fake_driver(instances, horizon_s, progress=None):
+    def fake_driver(instances, horizon_s, progress=None, workers=1):
         calls["instances"] = instances
         calls["horizon_s"] = horizon_s
+        calls["workers"] = workers
         if progress:
             progress("stub progress line")
         return fake_result()

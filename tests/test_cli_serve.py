@@ -1,0 +1,91 @@
+"""The ``repro serve`` subcommand: JSONL in, JSONL out, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.io import JOB_FORMAT, RESULT_FORMAT, read_jsonl
+from repro.network.topology import random_wrsn
+from repro.serve import PlanJob, save_jobs
+
+
+@pytest.fixture
+def jobs_file(tmp_path):
+    net = random_wrsn(num_sensors=15, seed=6)
+    ids = tuple(net.all_sensor_ids()[:8])
+    save_jobs(
+        [
+            PlanJob(net, ids, 2, "Appro", "a"),
+            PlanJob(net, ids, 1, "K-minMax", "b"),
+        ],
+        tmp_path / "jobs.jsonl",
+    )
+    return tmp_path / "jobs.jsonl"
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "jobs.jsonl"])
+        assert args.workers == 1
+        assert args.timeout is None
+        assert args.retries == 0
+        assert not args.demo
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "j.jsonl", "-o", "r.jsonl", "--workers", "4",
+             "--timeout", "30", "--retries", "2", "--backoff", "0.5",
+             "--no-shared-context", "--demo"]
+        )
+        assert args.output == "r.jsonl"
+        assert args.workers == 4
+        assert args.timeout == 30.0
+        assert args.no_shared_context
+
+
+class TestCmdServe:
+    def test_stdout_results(self, jobs_file, capsys):
+        code = main(["serve", str(jobs_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        rows = [json.loads(line) for line in out.splitlines()]
+        assert [r["format"] for r in rows] == [RESULT_FORMAT] * 2
+        assert [r["id"] for r in rows] == ["a", "b"]
+        assert all(r["status"] == "ok" for r in rows)
+
+    def test_output_file_and_workers(self, jobs_file, tmp_path):
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["serve", str(jobs_file), "-o", str(out), "--workers", "2"]
+        )
+        assert code == 0
+        rows = read_jsonl(out)
+        assert len(rows) == 2
+        assert rows[0]["schedule"]["format"] == "repro-schedule/2"
+
+    def test_failed_job_sets_exit_code(self, jobs_file, tmp_path):
+        rows = read_jsonl(jobs_file)
+        rows[1]["planner"] = "NoSuchPlanner"
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(
+            "".join(json.dumps(r) + "\n" for r in rows)
+        )
+        code = main(["serve", str(bad), "-o", str(tmp_path / "r.jsonl")])
+        assert code == 1
+        results = read_jsonl(tmp_path / "r.jsonl")
+        assert results[0]["status"] == "ok"
+        assert results[1]["status"] == "error"
+
+    def test_demo_generates_then_runs(self, tmp_path, capsys):
+        jobs_path = tmp_path / "demo.jsonl"
+        code = main(
+            ["serve", str(jobs_path), "--demo",
+             "-o", str(tmp_path / "r.jsonl")]
+        )
+        assert code == 0
+        jobs = read_jsonl(jobs_path)
+        assert all(j["format"] == JOB_FORMAT for j in jobs)
+        results = read_jsonl(tmp_path / "r.jsonl")
+        assert len(results) == len(jobs)
+        assert all(r["status"] == "ok" for r in results)

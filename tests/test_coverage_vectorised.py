@@ -1,0 +1,114 @@
+"""Byte-parity of the vectorised coverage path against the loop path.
+
+``GridIndex.within_bulk`` (numpy broadcast) replaced per-candidate
+``within`` loops in ``graphs.coverage.coverage_sets`` and
+``PlanningContext.coverage_for``. These tests pin that the replacement
+changed *nothing observable*: identical membership on seeded random
+deployments, on exact-boundary integer cases, and through the context
+memo.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid_index import GridIndex
+from repro.graphs.coverage import coverage_sets
+from repro.network.topology import random_wrsn
+from repro.pipeline import PlanningContext
+
+
+def _loop_coverage_sets(candidates, positions, radius_m, targets=None):
+    """The pre-vectorisation reference: one ``within`` call per candidate."""
+    target_ids = set(positions) if targets is None else set(targets)
+    index = GridIndex(
+        {t: positions[t] for t in target_ids}, cell_size=radius_m
+    )
+    result = {}
+    for cand in candidates:
+        covered = set(index.within(positions[cand], radius_m))
+        covered.add(cand)
+        result[cand] = frozenset(covered)
+    return result
+
+
+class TestWithinBulk:
+    def test_matches_within_on_seeded_deployments(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            points = {
+                i: (float(x), float(y))
+                for i, (x, y) in enumerate(rng.uniform(0, 50, size=(80, 2)))
+            }
+            index = GridIndex(points, cell_size=2.7)
+            centers = [points[i] for i in sorted(points)]
+            bulk = index.within_bulk(centers, 2.7)
+            for center, row in zip(centers, bulk):
+                assert sorted(row) == sorted(index.within(center, 2.7))
+
+    def test_exact_boundary_is_inclusive(self):
+        # (0,0) -> (3,4) is exactly 5 in both math.hypot and np.hypot.
+        index = GridIndex({0: (0.0, 0.0), 1: (3.0, 4.0)}, cell_size=5.0)
+        [row] = index.within_bulk([(0.0, 0.0)], 5.0)
+        assert sorted(row) == [0, 1]
+        assert sorted(index.within((0.0, 0.0), 5.0)) == [0, 1]
+
+    def test_empty_index_and_empty_centers(self):
+        index = GridIndex({}, cell_size=1.0)
+        assert index.within_bulk([(0.0, 0.0)], 2.0) == [[]]
+        full = GridIndex({0: (0.0, 0.0)}, cell_size=1.0)
+        assert full.within_bulk([], 2.0) == []
+
+    def test_negative_radius_rejected(self):
+        index = GridIndex({0: (0.0, 0.0)}, cell_size=1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            index.within_bulk([(0.0, 0.0)], -1.0)
+
+    def test_chunking_covers_all_centers(self):
+        # More centers than one broadcast block (512).
+        points = {i: (float(i % 40), float(i // 40)) for i in range(700)}
+        index = GridIndex(points, cell_size=3.0)
+        centers = [points[i] for i in range(700)]
+        bulk = index.within_bulk(centers, 3.0)
+        assert len(bulk) == 700
+        for i in (0, 511, 512, 699):
+            assert sorted(bulk[i]) == sorted(index.within(centers[i], 3.0))
+
+
+class TestCoverageSetsParity:
+    def test_byte_parity_with_loop_version(self):
+        for seed in (1, 7, 42):
+            net = random_wrsn(num_sensors=120, seed=seed)
+            positions = net.positions()
+            ids = net.all_sensor_ids()
+            vec = coverage_sets(ids, positions, radius_m=2.7)
+            ref = _loop_coverage_sets(ids, positions, radius_m=2.7)
+            assert vec == ref
+
+    def test_parity_with_targets_subset(self):
+        net = random_wrsn(num_sensors=60, seed=3)
+        positions = net.positions()
+        ids = net.all_sensor_ids()
+        candidates = ids[::3]
+        targets = ids[: len(ids) // 2]
+        vec = coverage_sets(candidates, positions, 2.7, targets=targets)
+        ref = _loop_coverage_sets(candidates, positions, 2.7, targets=targets)
+        assert vec == ref
+
+
+class TestContextCoverageParity:
+    def test_context_matches_standalone_and_memoizes(self):
+        net = random_wrsn(num_sensors=80, seed=9)
+        requests = net.all_sensor_ids()
+        ctx = PlanningContext(net, requests)
+        cands = ctx.sojourn_candidates()
+        first = ctx.coverage_for(cands)
+        standalone = coverage_sets(
+            cands,
+            {t: ctx.positions[t] for t in requests},
+            ctx.charger.charge_radius_m,
+            targets=requests,
+        )
+        assert first == standalone
+        hits_before = ctx.memo_hits
+        assert ctx.coverage_for(cands) == first
+        assert ctx.memo_hits == hits_before + len(cands)
