@@ -151,15 +151,47 @@ def test_engine_resolution_is_3x_faster():
     )
 
 
-def main(quick: bool = False) -> int:
+def main(quick: bool = False, repeats: int = 1,
+         json_path: str = None) -> int:
+    from statistics import median
+
     num_stops = NUM_STOPS
     floor = 2.0 if quick else SPEEDUP_FLOOR
-    legacy_s, engine_s, waits = time_both(num_stops)
-    speedup = legacy_s / engine_s if engine_s > 0 else float("inf")
-    print(f"stops={num_stops} tours={NUM_TOURS} waits={waits}")
-    print(f"all-pairs resolve : {legacy_s * 1000:8.1f} ms")
-    print(f"engine resolve    : {engine_s * 1000:8.1f} ms")
+    legacy_samples, engine_samples = [], []
+    waits = 0
+    for _ in range(max(1, repeats)):
+        legacy_s, engine_s, waits = time_both(num_stops)
+        legacy_samples.append(legacy_s)
+        engine_samples.append(engine_s)
+    legacy_med = median(legacy_samples)
+    engine_med = median(engine_samples)
+    speedup = legacy_med / engine_med if engine_med > 0 else float("inf")
+    print(f"stops={num_stops} tours={NUM_TOURS} waits={waits} "
+          f"repeats={len(engine_samples)}")
+    print(f"all-pairs resolve : {legacy_med * 1000:8.1f} ms (median)")
+    print(f"engine resolve    : {engine_med * 1000:8.1f} ms (median)")
     print(f"speedup           : {speedup:8.1f}x (floor {floor}x)")
+    if json_path:
+        from repro.bench.record import bench_record, write_bench_record
+
+        write_bench_record(
+            bench_record(
+                "micro-conflicts",
+                params={
+                    "num_stops": num_stops,
+                    "num_tours": NUM_TOURS,
+                    "waits": waits,
+                    "quick": quick,
+                },
+                metrics={
+                    "legacy_s": legacy_samples,
+                    "engine_s": engine_samples,
+                },
+                derived={"speedup": speedup, "floor": floor},
+            ),
+            json_path,
+        )
+        print(f"wrote {json_path}")
     if speedup < floor:
         print("FAIL: conflict engine is below the speedup floor")
         return 1
@@ -174,4 +206,14 @@ if __name__ == "__main__":
         "--quick", action="store_true",
         help="softer speedup floor for noisy CI runners",
     )
-    sys.exit(main(quick=parser.parse_args().quick))
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repetitions; medians are reported (default: 1)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a repro-bench/1 record here",
+    )
+    _args = parser.parse_args()
+    sys.exit(main(quick=_args.quick, repeats=_args.repeats,
+                  json_path=_args.json))

@@ -94,18 +94,50 @@ def test_context_is_shared_across_planners():
     assert stats["distance_hits"] > 0
 
 
-def main(quick: bool = False) -> int:
+def main(quick: bool = False, repeats: int = 1,
+         json_path: str = None) -> int:
+    from statistics import median
+
     num_sensors = 80 if quick else N
     floor = 2.0 if quick else SPEEDUP_FLOOR
-    net = make_instance(num_sensors)
-    cold_s, warm_s, ctx = time_cold_and_warm(net)
-    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
-    print(f"n={num_sensors} K={K} planner=Appro")
-    print(f"cold run : {cold_s * 1000:8.1f} ms")
-    print(f"warm run : {warm_s * 1000:8.1f} ms")
+    cold_samples, warm_samples = [], []
+    ctx = None
+    for _ in range(max(1, repeats)):
+        net = make_instance(num_sensors)
+        cold_s, warm_s, ctx = time_cold_and_warm(net)
+        cold_samples.append(cold_s)
+        warm_samples.append(warm_s)
+    cold_med = median(cold_samples)
+    warm_med = median(warm_samples)
+    speedup = cold_med / warm_med if warm_med > 0 else float("inf")
+    print(f"n={num_sensors} K={K} planner=Appro "
+          f"repeats={len(warm_samples)}")
+    print(f"cold run : {cold_med * 1000:8.1f} ms (median)")
+    print(f"warm run : {warm_med * 1000:8.1f} ms (median)")
     print(f"speedup  : {speedup:8.1f}x (floor {floor}x)")
     for key, value in sorted(ctx.stats().items()):
         print(f"  {key:<18} {value}")
+    if json_path:
+        from repro.bench.record import bench_record, write_bench_record
+
+        write_bench_record(
+            bench_record(
+                "micro-context",
+                params={
+                    "num_sensors": num_sensors,
+                    "num_chargers": K,
+                    "planner": "Appro",
+                    "quick": quick,
+                },
+                metrics={
+                    "cold_s": cold_samples,
+                    "warm_s": warm_samples,
+                },
+                derived={"speedup": speedup, "floor": floor},
+            ),
+            json_path,
+        )
+        print(f"wrote {json_path}")
     if speedup < floor:
         print("FAIL: context reuse is below the speedup floor")
         return 1
@@ -121,4 +153,14 @@ if __name__ == "__main__":
         "--quick", action="store_true",
         help="smaller workload and a softer floor (CI smoke)",
     )
-    sys.exit(main(quick=parser.parse_args().quick))
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repetitions; medians are reported (default: 1)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a repro-bench/1 record here",
+    )
+    _args = parser.parse_args()
+    sys.exit(main(quick=_args.quick, repeats=_args.repeats,
+                  json_path=_args.json))

@@ -95,20 +95,51 @@ def test_shared_contexts_double_throughput():
     )
 
 
-def main(quick: bool = False) -> int:
+def main(quick: bool = False, repeats: int = 1,
+         json_path: str = None) -> int:
+    from statistics import median
+
     num_sensors = 80 if quick else N
     floor = 1.5 if quick else SPEEDUP_FLOOR
-    jobs = make_batch(make_instance(num_sensors))
-    warm_s, cold_s, warm, _cold = time_warm_and_cold(jobs)
-    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    warm_samples, cold_samples = [], []
+    warm = []
+    for _ in range(max(1, repeats)):
+        jobs = make_batch(make_instance(num_sensors))
+        warm_s, cold_s, warm, _cold = time_warm_and_cold(jobs)
+        warm_samples.append(warm_s)
+        cold_samples.append(cold_s)
+    warm_med = median(warm_samples)
+    cold_med = median(cold_samples)
+    speedup = cold_med / warm_med if warm_med > 0 else float("inf")
     reused = sum(r.context_reused for r in warm)
-    print(f"n={num_sensors} jobs={len(jobs)} (one group)")
-    print(f"shared contexts : {warm_s * 1000:8.1f} ms")
-    print(f"cold contexts   : {cold_s * 1000:8.1f} ms")
+    print(f"n={num_sensors} jobs={len(warm)} (one group) "
+          f"repeats={len(warm_samples)}")
+    print(f"shared contexts : {warm_med * 1000:8.1f} ms (median)")
+    print(f"cold contexts   : {cold_med * 1000:8.1f} ms (median)")
     print(f"speedup         : {speedup:8.1f}x (floor {floor}x)")
-    print(f"context reuses  : {reused}/{len(jobs) - 1}")
+    print(f"context reuses  : {reused}/{len(warm) - 1}")
     print(f"memo hits       : "
           f"{sum(r.cache['memo_hits'] for r in warm)}")
+    if json_path:
+        from repro.bench.record import bench_record, write_bench_record
+
+        write_bench_record(
+            bench_record(
+                "micro-serve",
+                params={
+                    "num_sensors": num_sensors,
+                    "jobs": len(warm),
+                    "quick": quick,
+                },
+                metrics={
+                    "warm_s": warm_samples,
+                    "cold_s": cold_samples,
+                },
+                derived={"speedup": speedup, "floor": floor},
+            ),
+            json_path,
+        )
+        print(f"wrote {json_path}")
     if speedup < floor:
         print("FAIL: context sharing is below the speedup floor")
         return 1
@@ -124,4 +155,14 @@ if __name__ == "__main__":
         "--quick", action="store_true",
         help="smaller workload and a softer floor (CI smoke)",
     )
-    sys.exit(main(quick=parser.parse_args().quick))
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repetitions; medians are reported (default: 1)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a repro-bench/1 record here",
+    )
+    _args = parser.parse_args()
+    sys.exit(main(quick=_args.quick, repeats=_args.repeats,
+                  json_path=_args.json))

@@ -93,7 +93,7 @@ def greedy_cover_schedule(
         )
         gain = coverage[best] & uncovered
         if not gain:  # cannot happen while uncovered sensors remain
-            best = next(iter(uncovered))
+            best = min(uncovered)
             gain = {best}
         chosen.append(best)
         uncovered -= gain

@@ -10,6 +10,8 @@
   series the paper plots.
 * :mod:`repro.bench.fault_campaign` — the ``repro faults`` campaign:
   every algorithm executed under identical seeded fault draws.
+* :mod:`repro.bench.record` — machine-readable ``repro-bench/1``
+  micro-benchmark records (median/min/max per metric).
 """
 
 from repro.bench.experiments import (
@@ -22,22 +24,34 @@ from repro.bench.fault_campaign import (
     FaultCampaignRow,
     run_fault_campaign,
 )
+from repro.bench.record import (
+    BENCH_FORMAT,
+    bench_record,
+    median_of,
+    summarize_samples,
+    write_bench_record,
+)
 from repro.bench.reporting import format_series_table, series_to_rows
 from repro.bench.runner import ExperimentResult, SweepPoint, run_sweep
 from repro.bench.workloads import PaperParams, make_instance
 
 __all__ = [
+    "BENCH_FORMAT",
     "ExperimentResult",
     "FaultCampaignResult",
     "FaultCampaignRow",
     "PaperParams",
     "SweepPoint",
+    "bench_record",
     "fig3_network_size",
     "fig4_data_rate",
     "fig5_num_chargers",
     "format_series_table",
     "make_instance",
+    "median_of",
     "run_fault_campaign",
     "run_sweep",
     "series_to_rows",
+    "summarize_samples",
+    "write_bench_record",
 ]

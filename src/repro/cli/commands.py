@@ -426,6 +426,80 @@ def cmd_serve(args) -> int:
     return 0 if stats["ok"] == stats["jobs"] else 1
 
 
+def cmd_sanitize(args) -> int:
+    """Run the runtime determinism sanitizer (repro.serve.sanitize)."""
+    import json
+
+    from repro.serve.sanitize import (
+        DEFAULT_HASH_SEEDS,
+        DEFAULT_WORKER_COUNTS,
+        build_corpus,
+        quick_corpus,
+        run_matrix,
+        sanitize_corpus,
+    )
+
+    hash_seeds = (
+        tuple(int(s) for s in args.hash_seeds.split(","))
+        if args.hash_seeds
+        else DEFAULT_HASH_SEEDS
+    )
+    if args.workers:
+        worker_counts = tuple(int(w) for w in args.workers.split(","))
+    elif args.quick:
+        worker_counts = (1, 2)
+    else:
+        worker_counts = DEFAULT_WORKER_COUNTS
+
+    if args.jobs:
+        print(f"sanitizing existing corpus: {args.jobs}", file=sys.stderr)
+        report = run_matrix(
+            args.jobs,
+            hash_seeds=hash_seeds,
+            worker_counts=worker_counts,
+            plugin=args.plugin,
+        )
+    else:
+        jobs = (
+            quick_corpus(seed=args.seed)
+            if args.quick
+            else build_corpus(seed=args.seed)
+        )
+        print(
+            f"sanitizing a generated corpus of {len(jobs)} jobs "
+            f"(seed {args.seed})",
+            file=sys.stderr,
+        )
+        report = sanitize_corpus(
+            jobs,
+            hash_seeds=hash_seeds,
+            worker_counts=worker_counts,
+            plugin=args.plugin,
+        )
+
+    for cell in report.cells:
+        tag = "baseline" if cell.get("baseline") else "compared"
+        print(
+            f"  PYTHONHASHSEED={cell['hash_seed']} "
+            f"workers={cell['workers']}: {cell['lines']} parity lines "
+            f"({tag})",
+            file=sys.stderr,
+        )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if report.ok:
+        print(
+            f"deterministic: {report.jobs} jobs byte-identical across "
+            f"{len(report.cells)} interpreter/pool combinations"
+        )
+        return 0
+    for divergence in report.divergences:
+        print(f"DIVERGENT: {divergence.describe()}")
+    return 1
+
+
 def cmd_lint(args) -> int:
     """Run the project's static-analysis rules (repro.lint)."""
     from repro.lint import (
@@ -437,7 +511,7 @@ def cmd_lint(args) -> int:
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.id:<16} {rule.severity.value:<8} "
+            print(f"{rule.id:<20} {rule.severity.value:<8} "
                   f"{rule.description}")
         return 0
     try:

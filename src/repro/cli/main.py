@@ -247,6 +247,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(func=commands.cmd_lint)
 
+    san = sub.add_parser(
+        "sanitize",
+        help="replan a seeded corpus under PYTHONHASHSEED × worker "
+        "perturbation and byte-compare the results",
+    )
+    san.add_argument(
+        "--jobs", default=None,
+        help="existing repro-job/1 corpus (default: generate a seeded "
+        "54-job corpus)",
+    )
+    san.add_argument(
+        "--quick", action="store_true",
+        help="small corpus and matrix for CI smoke runs",
+    )
+    san.add_argument(
+        "--seed", type=int, default=0,
+        help="corpus generation seed (default: 0)",
+    )
+    san.add_argument(
+        "--hash-seeds", default=None, metavar="S,S,...",
+        help="comma-separated PYTHONHASHSEED values (default: 0,1)",
+    )
+    san.add_argument(
+        "--workers", default=None, metavar="N,N,...",
+        help="comma-separated pool sizes (default: 1,2,4; "
+        "with --quick: 1,2)",
+    )
+    san.add_argument(
+        "--plugin", default=None,
+        help="module the child interpreters import before planning "
+        "(registers extension planners)",
+    )
+    san.add_argument(
+        "-o", "--output", default=None,
+        help="write the repro-sanitize/1 JSON report here",
+    )
+    san.set_defaults(func=commands.cmd_sanitize)
+
     return parser
 
 

@@ -357,7 +357,7 @@ class ConflictResolver:
         pos = self._pos
         eps = self.eps
         tour_of = schedule.tour_of
-        for moved in affected:
+        for moved in sorted(affected):
             if moved not in pos:  # skip_tour stops are never re-checked
                 continue
             m_start, m_finish = schedule.stop_interval(moved)

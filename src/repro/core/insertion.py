@@ -117,7 +117,7 @@ def extend_schedule(
     while pending:
         keyed = [
             (node, latest_neighbor_finish(node, aux_graph, schedule))
-            for node in pending
+            for node in sorted(pending)
         ]
         with_neighbors = [(n, f) for n, f in keyed if f is not None]
         if with_neighbors:

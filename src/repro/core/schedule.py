@@ -202,7 +202,7 @@ class ChargingSchedule:
             for u in self.coverage[node]
             if u not in self.charged_by and u in self.charge_times
         )
-        for u in newly:
+        for u in sorted(newly):
             self.charged_by[u] = node
         self.charges[node] = newly
         return newly

@@ -39,7 +39,7 @@ def coverage_sets(
         raise ValueError(f"charging radius must be positive, got {radius_m}")
     target_ids = set(positions) if targets is None else set(targets)
     index = GridIndex(
-        {t: positions[t] for t in target_ids}, cell_size=radius_m
+        {t: positions[t] for t in sorted(target_ids)}, cell_size=radius_m
     )
     # One vectorised bulk query for all candidates; membership is
     # identical to per-candidate index.within() calls (same hypot, same

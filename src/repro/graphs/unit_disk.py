@@ -45,9 +45,15 @@ def build_charging_graph(
     for node in node_list:
         graph.add_node(node, pos=positions[node])
     index = GridIndex({n: positions[n] for n in node_list}, cell_size=radius_m)
-    for node in node_list:
+    # One vectorised neighbourhood query for all nodes. Membership is
+    # identical to per-node neighbors_of() scans (same hypot, same
+    # inclusive boundary — tests/test_graphs_unit_disk.py pins the
+    # parity), and edge weights still come from Point.distance_to, so
+    # the produced graph is byte-identical to the loop construction.
+    rows = index.within_bulk([positions[n] for n in node_list], radius_m)
+    for node, row in zip(node_list, rows):
         p = positions[node]
-        for other in index.neighbors_of(node, radius_m):
+        for other in row:
             if other > node:
                 graph.add_edge(
                     node, other, weight=p.distance_to(positions[other])

@@ -11,11 +11,20 @@ consequences of those invariants at review time, before
   registry (:mod:`repro.lint.registry`) and a
   :class:`~repro.lint.findings.Finding` record with ``file:line``
   spans and severities;
-* six project rules (:mod:`repro.lint.rules`): unit-suffix
+* eleven project rules (:mod:`repro.lint.rules`): unit-suffix
   discipline, no exact float equality, seeded randomness, no mutable
-  defaults, the import-layering contract, and API-doc drift;
+  defaults, the import-layering contract, API-doc drift, and the
+  determinism family — unordered iteration over sets (dataflow-aware,
+  :mod:`repro.lint.dataflow`), wall-clock/environment reads in
+  deterministic layers, pool-payload portability (call-graph-aware,
+  :mod:`repro.lint.callgraph`), and cross-process cache mutation;
 * inline suppression via ``# repro-lint: disable=<rule>``
   (:mod:`repro.lint.pragmas`).
+
+The static rules are backstopped at runtime by ``repro sanitize``
+(:mod:`repro.serve.sanitize`), which replans a seeded job corpus under
+``PYTHONHASHSEED`` and worker-count perturbation and byte-compares the
+schedules.
 
 Run it as ``repro lint [paths...]`` (``--format=json`` for machines)
 or through :func:`lint_paths`; ``tests/test_lint_self.py`` gates the
@@ -24,6 +33,7 @@ repository's own sources in tier-1.
 
 from repro.lint.engine import iter_python_files, lint_paths, max_severity
 from repro.lint.findings import (
+    LINT_FORMAT,
     Finding,
     Severity,
     format_findings_json,
@@ -41,6 +51,7 @@ from repro.lint.registry import (
 __all__ = [
     "FileRule",
     "Finding",
+    "LINT_FORMAT",
     "ProjectRule",
     "Rule",
     "Severity",

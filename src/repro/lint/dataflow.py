@@ -1,0 +1,387 @@
+"""Intra-function order-sensitivity dataflow (powers rule R8).
+
+The planning stack promises byte-identical output for a given network
+and request set at any worker count (DESIGN §13). The classic way that
+promise dies in Python is *unordered iteration*: a ``set`` (or
+``frozenset``) is iterated and its elements flow into an
+order-sensitive sink — a list being built, a float accumulator, a
+schedule or JSONL line being emitted. Integer-keyed sets happen to
+iterate stably today, but string sets reorder under
+``PYTHONHASHSEED`` and any set reorders across CPython versions, so
+the invariant must not rest on element types.
+
+This module is the static side of that check: a small, precise
+dataflow analysis over one scope (module body or function body) at a
+time. It tracks which local names are *evidently* unordered —
+assigned from set displays/comprehensions, ``set()``/``frozenset()``
+calls, set-algebra operators or methods — and reports every place an
+unordered value is iterated into an order-sensitive consumer without
+an intervening ``sorted()``:
+
+* ``for x in S:`` whose body appends/extends, accumulates with ``+=``
+  (a bare integer-literal counter is exempt — counting is
+  order-insensitive), writes to a stream, assigns through a
+  subscript, or yields;
+* direct materializing/accumulating calls — ``sum(S)``, ``list(S)``,
+  ``tuple(S)``, ``enumerate(S)``, ``zip(S, …)``, ``sep.join(S)``,
+  ``next(iter(S))``;
+* list/dict comprehensions and generator expressions drawing from an
+  unordered source (set comprehensions are fine — they rebuild a
+  set).
+
+Order-insensitive consumers (``sorted``, ``min``, ``max``, ``len``,
+``any``, ``all``, ``set``, ``frozenset``, membership tests) never
+trigger. ``sum`` does: float addition is not associative, so the sum
+of a set of floats is hash-order-dependent in its last bits — exactly
+the divergence the runtime sanitizer (``repro sanitize``) exists to
+catch.
+
+The analysis is deliberately first-order: only names bound in the
+scope under analysis (or an enclosing one) are classified, and an
+unknown value is assumed ordered. That keeps the rule's precision
+high — every finding points at syntactic evidence of a set — at the
+cost of missing hazards hidden behind attribute or call boundaries;
+the runtime parity harness backstops those.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Set methods whose result is again an unordered collection.
+SET_ALGEBRA_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Builtins whose call result is an unordered collection.
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: Builtins that consume an iterable without depending on its order.
+ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+#: Builtins that materialize or accumulate their iterable in
+#: iteration order — handing them an unordered value is a hazard.
+ORDER_SENSITIVE_CONSUMERS = frozenset(
+    {"sum", "list", "tuple", "enumerate", "zip", "reversed"}
+)
+
+#: Method calls inside a loop body that record elements in visit order.
+ACCUMULATING_METHODS = frozenset(
+    {"append", "extend", "insert", "write", "writelines", "appendleft"}
+)
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class OrderHazard:
+    """One unordered-iteration hazard found in a scope.
+
+    Attributes:
+        node: the AST node to report (the loop, call or comprehension).
+        kind: ``"loop"``, ``"call"`` or ``"comprehension"``.
+        detail: human-readable description of source and sink.
+    """
+
+    node: ast.AST
+    kind: str
+    detail: str
+
+
+class _Env:
+    """Name -> is-unordered bindings with enclosing-scope fallback."""
+
+    def __init__(self, parent: Optional["_Env"] = None):
+        self.parent = parent
+        self.names: Dict[str, bool] = {}
+
+    def set(self, name: str, unordered: bool) -> None:
+        self.names[name] = unordered
+
+    def is_unordered(self, name: str) -> bool:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.names:
+                return env.names[name]
+            env = env.parent
+        return False
+
+
+def _call_name(node: ast.Call) -> str:
+    """Bare or attribute name of the called object (``""`` if complex)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def is_unordered_expr(node: ast.expr, env: _Env) -> bool:
+    """Whether ``node`` evidently evaluates to an unordered collection."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return env.is_unordered(node.id)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in SET_CONSTRUCTORS:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in SET_ALGEBRA_METHODS
+            and is_unordered_expr(func.value, env)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return is_unordered_expr(node.left, env) or is_unordered_expr(
+            node.right, env
+        )
+    if isinstance(node, ast.IfExp):
+        return is_unordered_expr(node.body, env) or is_unordered_expr(
+            node.orelse, env
+        )
+    return False
+
+
+def describe_source(node: ast.expr) -> str:
+    """Short human description of the unordered source expression."""
+    if isinstance(node, ast.Set):
+        return "a set display"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Name):
+        return f"set-valued name {node.id!r}"
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        return f"{name}(...)" if name else "a set-valued call"
+    if isinstance(node, ast.BinOp):
+        return "a set-algebra expression"
+    return "an unordered expression"
+
+
+def _loop_sink(body: Sequence[ast.stmt]) -> Optional[str]:
+    """First order-sensitive operation in a loop body, or ``None``.
+
+    Nested function definitions open a new scope and are skipped —
+    their bodies do not execute per iteration.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            if isinstance(node, ast.AugAssign):
+                # A bare integer-literal counter (n += 1) is
+                # order-insensitive; any other accumulation is not.
+                value = node.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, int)
+                ):
+                    return "accumulates with an augmented assignment"
+            elif isinstance(node, ast.Call):
+                name = _call_name(node)
+                if isinstance(node.func, ast.Attribute) and (
+                    name in ACCUMULATING_METHODS
+                ):
+                    return f".{name}() records elements in visit order"
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yields elements in visit order"
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        return (
+                            "assigns through a subscript "
+                            "(insertion order becomes visit order)"
+                        )
+    return None
+
+
+class _ScopeAnalyzer(ast.NodeVisitor):
+    """Single-scope walk: track unordered names, collect hazards."""
+
+    def __init__(self, env: _Env, hazards: List[OrderHazard]):
+        self.env = env
+        self.hazards = hazards
+        #: Nodes whose unordered-ness a safe consumer already blessed.
+        self._blessed: set = set()
+
+    # -- binding -------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, unordered: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.env.set(target.id, unordered)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        unordered = is_unordered_expr(node.value, self.env)
+        for target in node.targets:
+            self._bind_target(target, unordered)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            self._bind_target(
+                node.target, is_unordered_expr(node.value, self.env)
+            )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            if is_unordered_expr(node.value, self.env):
+                self.env.set(node.target.id, True)
+
+    # -- scopes --------------------------------------------------------
+
+    def _enter_function(self, node: _FuncNode) -> None:
+        analyze_scope(node.body, _Env(self.env), self.hazards)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Class bodies are their own scope; methods recurse from there.
+        analyze_scope(node.body, _Env(self.env), self.hazards)
+
+    # -- sinks ---------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if is_unordered_expr(node.iter, self.env) and (
+            id(node.iter) not in self._blessed
+        ):
+            sink = _loop_sink(node.body)
+            if sink is not None:
+                self.hazards.append(
+                    OrderHazard(
+                        node=node,
+                        kind="loop",
+                        detail=(
+                            f"loop over {describe_source(node.iter)} "
+                            f"{sink}"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if isinstance(node.func, ast.Name) and name in ORDER_SAFE_CONSUMERS:
+            # sorted(S), len(S), ... — bless the direct arguments so
+            # the generic walk below does not re-flag them.
+            for arg in node.args:
+                self._blessed.add(id(arg))
+                if isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+                    for gen in arg.generators:
+                        self._blessed.add(id(gen.iter))
+        elif name in ORDER_SENSITIVE_CONSUMERS or name == "join":
+            for arg in node.args:
+                if is_unordered_expr(arg, self.env) and (
+                    id(arg) not in self._blessed
+                ):
+                    self.hazards.append(
+                        OrderHazard(
+                            node=node,
+                            kind="call",
+                            detail=(
+                                f"{name}() consumes "
+                                f"{describe_source(arg)} in iteration "
+                                f"order"
+                            ),
+                        )
+                    )
+        elif (
+            name == "next"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and _call_name(node.args[0]) == "iter"
+            and node.args[0].args
+            and is_unordered_expr(node.args[0].args[0], self.env)
+        ):
+            self.hazards.append(
+                OrderHazard(
+                    node=node,
+                    kind="call",
+                    detail=(
+                        "next(iter(...)) picks the hash-order-first "
+                        f"element of "
+                        f"{describe_source(node.args[0].args[0])}"
+                    ),
+                )
+            )
+        self.generic_visit(node)
+
+    def _check_comprehension(
+        self,
+        node: Union[ast.ListComp, ast.DictComp, ast.GeneratorExp],
+        what: str,
+    ) -> None:
+        for gen in node.generators:
+            if is_unordered_expr(gen.iter, self.env) and (
+                id(gen.iter) not in self._blessed
+            ):
+                self.hazards.append(
+                    OrderHazard(
+                        node=node,
+                        kind="comprehension",
+                        detail=(
+                            f"{what} draws from "
+                            f"{describe_source(gen.iter)} in iteration "
+                            f"order"
+                        ),
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, "list comprehension")
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node, "dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        if id(node) not in self._blessed:
+            self._check_comprehension(node, "generator expression")
+
+
+def analyze_scope(
+    body: Sequence[ast.stmt],
+    env: _Env,
+    hazards: List[OrderHazard],
+) -> None:
+    """Walk one scope's statements, recursing into nested scopes."""
+    analyzer = _ScopeAnalyzer(env, hazards)
+    for stmt in body:
+        analyzer.visit(stmt)
+
+
+def order_hazards(tree: ast.Module) -> List[OrderHazard]:
+    """All unordered-iteration hazards in a parsed module."""
+    hazards: List[OrderHazard] = []
+    analyze_scope(tree.body, _Env(), hazards)
+    return hazards
+
+
+__all__ = [
+    "ACCUMULATING_METHODS",
+    "ORDER_SAFE_CONSUMERS",
+    "ORDER_SENSITIVE_CONSUMERS",
+    "OrderHazard",
+    "SET_ALGEBRA_METHODS",
+    "SET_CONSTRUCTORS",
+    "analyze_scope",
+    "describe_source",
+    "is_unordered_expr",
+    "order_hazards",
+]

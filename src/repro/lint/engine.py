@@ -13,6 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.lint.callgraph import ProjectContext
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
 from repro.lint.registry import FileRule, ProjectRule, all_rules, rule_ids
@@ -103,9 +104,10 @@ def lint_paths(
         for rule in rules:
             if isinstance(rule, FileRule) and rule.applies_to(ctx):
                 findings.extend(rule.check_file(ctx))
+    project = ProjectContext.from_contexts(contexts)
     for rule in rules:
         if isinstance(rule, ProjectRule):
-            findings.extend(rule.check_project(contexts))
+            findings.extend(rule.check_project(contexts, project))
     return sorted(findings)
 
 

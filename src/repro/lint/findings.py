@@ -68,8 +68,28 @@ def format_findings_text(findings: Iterable[Finding]) -> str:
     return "\n".join(lines)
 
 
+#: Version tag of the JSON report envelope.
+LINT_FORMAT = "repro-lint/1"
+
+
 def format_findings_json(findings: Iterable[Finding]) -> str:
-    """Machine-readable report: a JSON array of finding objects."""
+    """Machine-readable report: a versioned ``repro-lint/1`` envelope.
+
+    The envelope is a stable contract for CI consumers::
+
+        {
+          "format": "repro-lint/1",
+          "findings": [
+            {"path", "line", "col", "rule", "severity", "message"},
+            ...
+          ],
+          "summary": {"total": N, "errors": E, "warnings": W}
+        }
+
+    Findings are sorted (path, line, col, rule) and keys are emitted
+    sorted, so reports diff cleanly between runs.
+    """
+    items = sorted(findings)
     payload: List[dict] = [
         {
             "path": f.path,
@@ -79,13 +99,24 @@ def format_findings_json(findings: Iterable[Finding]) -> str:
             "severity": f.severity.value,
             "message": f.message,
         }
-        for f in sorted(findings)
+        for f in items
     ]
-    return json.dumps(payload, indent=2)
+    n_err = sum(1 for f in items if f.severity is Severity.ERROR)
+    envelope = {
+        "format": LINT_FORMAT,
+        "findings": payload,
+        "summary": {
+            "total": len(items),
+            "errors": n_err,
+            "warnings": len(items) - n_err,
+        },
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True)
 
 
 __all__ = [
     "Finding",
+    "LINT_FORMAT",
     "Severity",
     "format_findings_json",
     "format_findings_text",

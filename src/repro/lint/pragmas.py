@@ -51,5 +51,21 @@ class PragmaIndex:
         rules = self._by_line.get(line)
         return rules is not None and (rule in rules or "all" in rules)
 
+    def suppressed_span(self, rule: str, first: int, last: int) -> bool:
+        """Whether ``rule`` is disabled anywhere in ``first..last``.
+
+        Multi-line statements report their finding at the first line,
+        but the natural place for the pragma comment is often the last
+        physical line (after the closing paren) — both work: a pragma
+        on *any* line of the flagged statement suppresses it.
+        """
+        if rule in self._file_wide or "all" in self._file_wide:
+            return True
+        if last < first:
+            first, last = last, first
+        return any(
+            self.suppressed(rule, line) for line in range(first, last + 1)
+        )
+
 
 __all__ = ["PragmaIndex"]

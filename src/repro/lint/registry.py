@@ -8,10 +8,13 @@ check (:class:`ProjectRule`). Decorating the class with
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Sequence, Type
 
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.callgraph import ProjectContext
 
 
 class Rule:
@@ -50,10 +53,17 @@ class FileRule(Rule):
 
 
 class ProjectRule(Rule):
-    """A rule needing a view of the whole linted file set."""
+    """A rule needing a view of the whole linted file set.
+
+    Besides the raw file contexts, project rules receive the run's
+    shared :class:`~repro.lint.callgraph.ProjectContext` — the
+    cross-module definition/import index the engine builds once.
+    """
 
     def check_project(
-        self, contexts: Sequence[FileContext]
+        self,
+        contexts: Sequence[FileContext],
+        project: "ProjectContext",
     ) -> Iterator[Finding]:
         raise NotImplementedError
 

@@ -20,6 +20,7 @@ import importlib.util
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
+from repro.lint.callgraph import ProjectContext
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding
 from repro.lint.registry import ProjectRule, register
@@ -55,7 +56,9 @@ class ApiDriftRule(ProjectRule):
     )
 
     def check_project(
-        self, contexts: Sequence[FileContext]
+        self,
+        contexts: Sequence[FileContext],
+        project: ProjectContext,
     ) -> Iterator[Finding]:
         root = _find_repo_root(contexts)
         if root is None:

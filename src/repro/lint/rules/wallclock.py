@@ -1,0 +1,211 @@
+"""Rule R9 ``wall-clock`` — no clock or environment reads below sim.
+
+The paper's algorithms are pure functions of ``(network, requests,
+K)``: two replans of the same job must agree byte-for-byte whether
+they run today or next week, on a laptop or in a pool worker with a
+different environment. A ``time.time()`` (or ``datetime.now()``)
+creeping into a planner turns schedules into functions of the clock;
+an ``os.environ`` read makes them functions of the shell. Both are
+invisible to the parity suite until they happen to disagree, so the
+deterministic layers ban them statically.
+
+Scope: every package at or below ``pipeline`` in the import-layer map
+(:data:`repro.lint.rules.layering.LAYERS`) — geometry through
+pipeline, the layers planning results flow through. The service,
+simulation, bench and CLI layers legitimately read clocks (timeouts,
+run timing, timestamps in reports) and env knobs
+(``REPRO_BENCH_*``), and stay out of scope.
+
+``time.perf_counter()``/``time.monotonic()`` are *also* flagged in
+scope: even "diagnostic" timers below the pipeline invite
+time-dependent branching (adaptive cutoffs, early exits) that the
+parity harness would only catch probabilistically. Measure in the
+bench layer instead, or suppress with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import FileRule, register
+from repro.lint.rules.layering import LAYERS
+from repro.lint.visitor import RuleVisitor
+
+#: Highest layer rank the rule applies to (the pipeline layer).
+DETERMINISTIC_MAX_RANK = LAYERS["pipeline"]
+
+#: ``time.<attr>`` calls that read a clock.
+_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime.datetime.<attr>`` / ``datetime.date.<attr>`` "now" reads.
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: ``os.<attr>`` environment reads.
+_OS_ENV_ATTRS = frozenset({"getenv", "environ", "getenvb"})
+
+
+def _package_key(module_name: str) -> str:
+    parts = module_name.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+class _Visitor(RuleVisitor):
+    def __init__(self, rule, ctx):
+        super().__init__(rule, ctx)
+        #: Local aliases of the stdlib ``time`` module.
+        self.time_aliases: Set[str] = set()
+        #: Local aliases of ``os``.
+        self.os_aliases: Set[str] = set()
+        #: Local aliases of the ``datetime`` *module*.
+        self.datetime_module_aliases: Set[str] = set()
+        #: Local aliases of the ``datetime.datetime``/``date`` classes.
+        self.datetime_class_aliases: Set[str] = set()
+        #: Clock functions imported directly (``from time import time``).
+        self.from_time: Set[str] = set()
+        #: Env readers imported directly (``from os import getenv``).
+        self.from_os: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_aliases.add(bound)
+            elif alias.name == "os":
+                self.os_aliases.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_module_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_ATTRS:
+                    self.from_time.add(alias.asname or alias.name)
+        elif node.module == "os":
+            for alias in node.names:
+                if alias.name in _OS_ENV_ATTRS:
+                    self.from_os.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_class_aliases.add(
+                        alias.asname or alias.name
+                    )
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.AST, what: str, why: str) -> None:
+        self.report(
+            node,
+            f"{what} {why}; deterministic layers (geometry..pipeline) "
+            f"must be pure functions of their inputs — measure or "
+            f"configure in the sim/bench/cli layers instead",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in self.time_aliases
+                and func.attr in _TIME_ATTRS
+            ):
+                self._flag(node, f"time.{func.attr}()", "reads a clock")
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in self.os_aliases
+                and func.attr == "getenv"
+            ):
+                self._flag(
+                    node, "os.getenv()", "reads the process environment"
+                )
+            elif func.attr in _DATETIME_ATTRS and self._is_datetime_class(
+                value
+            ):
+                self._flag(
+                    node,
+                    f"datetime {func.attr}()",
+                    "reads the wall clock",
+                )
+        elif isinstance(func, ast.Name):
+            if func.id in self.from_time:
+                self._flag(
+                    node,
+                    f"{func.id}() (imported from time)",
+                    "reads a clock",
+                )
+            elif func.id in self.from_os:
+                self._flag(
+                    node,
+                    f"{func.id}() (imported from os)",
+                    "reads the process environment",
+                )
+        self.generic_visit(node)
+
+    def _is_datetime_class(self, value: ast.expr) -> bool:
+        """``datetime.now()`` via class alias or ``datetime.datetime``."""
+        if (
+            isinstance(value, ast.Name)
+            and value.id in self.datetime_class_aliases
+        ):
+            return True
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr in ("datetime", "date")
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.datetime_module_aliases
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # os.environ reads (subscripts, .get(...), iteration) all go
+        # through the bare attribute access.
+        if (
+            node.attr == "environ"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.os_aliases
+        ):
+            self._flag(node, "os.environ", "reads the process environment")
+        self.generic_visit(node)
+
+
+@register
+class WallClockRule(FileRule):
+    """R9: no clock or environment reads at or below the pipeline layer."""
+
+    id = "wall-clock"
+    description = (
+        "no time/datetime/os.environ reads in deterministic layers "
+        "(geometry..pipeline)"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module_name is None or ctx.in_tests:
+            return False
+        if not ctx.module_name.startswith("repro"):
+            return False
+        rank = LAYERS.get(_package_key(ctx.module_name))
+        return rank is not None and rank <= DETERMINISTIC_MAX_RANK
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(_Visitor(self, ctx).run())
+
+
+__all__ = ["DETERMINISTIC_MAX_RANK", "WallClockRule"]

@@ -38,10 +38,16 @@ class RuleVisitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
 
     def report(self, node: ast.AST, message: str) -> None:
-        """Record a finding at ``node`` unless a pragma silences it."""
+        """Record a finding at ``node`` unless a pragma silences it.
+
+        A pragma on *any* physical line of the flagged statement
+        counts — multi-line calls usually carry the comment on their
+        closing line.
+        """
         line = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
-        if self.ctx.pragmas.suppressed(self.rule.id, line):
+        end_line = getattr(node, "end_lineno", None) or line
+        if self.ctx.pragmas.suppressed_span(self.rule.id, line, end_line):
             return
         self.findings.append(self.rule.finding(self.ctx, line, col, message))
 

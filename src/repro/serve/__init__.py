@@ -43,10 +43,18 @@ from repro.serve.pool import (
     call_with_timeout,
     run_tasks,
 )
+from repro.serve.sanitize import (
+    Divergence,
+    SanitizeReport,
+    build_corpus,
+    run_matrix,
+    sanitize_corpus,
+)
 from repro.serve.service import REQUIRED_VALUE_KEYS, PlanningService
 from repro.serve.workers import execute_plan_job, reset_worker_cache
 
 __all__ = [
+    "Divergence",
     "JobResult",
     "PlanJob",
     "PlanningService",
@@ -55,8 +63,10 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "SanitizeReport",
     "TaskOutcome",
     "TaskTimeout",
+    "build_corpus",
     "call_with_timeout",
     "execute_plan_job",
     "job_to_dict",
@@ -64,6 +74,8 @@ __all__ = [
     "jobs_to_jsonl",
     "load_jobs",
     "reset_worker_cache",
+    "run_matrix",
     "run_tasks",
+    "sanitize_corpus",
     "save_jobs",
 ]

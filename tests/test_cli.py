@@ -202,7 +202,9 @@ class TestLint:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule in ("unit-suffix", "float-eq", "seeded-rng",
-                     "mutable-default", "import-layer", "api-drift"):
+                     "mutable-default", "import-layer", "api-drift",
+                     "unordered-iteration", "wall-clock",
+                     "pool-payload", "cache-mutation"):
             assert rule in out
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
@@ -224,9 +226,26 @@ class TestLint:
         target = tmp_path / "dirty.py"
         target.write_text("def f(x):\n    return x == 0.0\n")
         assert main(["lint", str(target), "--format", "json"]) == 1
-        payload = json.loads(capsys.readouterr().out)
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-lint/1"
+        assert report["summary"]["total"] == report["summary"][
+            "errors"
+        ] + report["summary"]["warnings"]
+        payload = report["findings"]
         assert payload[0]["rule"] == "float-eq"
         assert payload[0]["path"].endswith("dirty.py")
+
+    def test_json_envelope_on_clean_file(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("def f(capacity_j: float) -> float:\n"
+                          "    return capacity_j\n")
+        assert main(["lint", str(target), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["format"] == "repro-lint/1"
+        assert report["findings"] == []
+        assert report["summary"] == {
+            "total": 0, "errors": 0, "warnings": 0
+        }
 
     def test_select_runs_only_named_rules(self, tmp_path, capsys):
         target = tmp_path / "dirty.py"
@@ -235,8 +254,32 @@ class TestLint:
             ["lint", str(target), "--select", "float-eq",
              "--format", "json"]
         ) == 1
-        payload = json.loads(capsys.readouterr().out)
-        assert {item["rule"] for item in payload} == {"float-eq"}
+        report = json.loads(capsys.readouterr().out)
+        assert {item["rule"] for item in report["findings"]} == {
+            "float-eq"
+        }
+
+    def test_pragma_suppresses_at_cli_level(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "def f(x):\n"
+            "    return x == 0.0  # repro-lint: disable=float-eq\n"
+        )
+        assert main(["lint", str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_pragma_on_multiline_statement(self, tmp_path, capsys):
+        """A pragma on the closing line of a multi-line expression
+        suppresses a finding anchored to its first line."""
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "def f(x, y):\n"
+            "    return (x\n"
+            "            == y\n"
+            "            == 0.0)  # repro-lint: disable=float-eq\n"
+        )
+        assert main(["lint", str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
 
     def test_repo_sources_are_clean(self, capsys):
         import repro

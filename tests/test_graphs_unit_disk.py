@@ -52,3 +52,70 @@ class TestBuildChargingGraph:
                 if i < j:
                     expected = euclidean(positions[i], positions[j]) <= 2.7
                     assert graph.has_edge(i, j) == expected
+
+
+class TestBulkParity:
+    """The within_bulk construction is byte-identical to the loop one.
+
+    The loop reference below is the pre-vectorisation implementation
+    (per-node ``neighbors_of`` scans); it is kept here, not in the
+    library, purely as the parity oracle.
+    """
+
+    @staticmethod
+    def _loop_reference(positions, radius_m, nodes=None):
+        import networkx as nx
+
+        from repro.geometry.grid_index import GridIndex
+
+        node_list = sorted(positions) if nodes is None else sorted(nodes)
+        graph = nx.Graph()
+        for node in node_list:
+            graph.add_node(node, pos=positions[node])
+        index = GridIndex(
+            {n: positions[n] for n in node_list}, cell_size=radius_m
+        )
+        for node in node_list:
+            p = positions[node]
+            for other in index.neighbors_of(node, radius_m):
+                if other > node:
+                    graph.add_edge(
+                        node, other, weight=p.distance_to(positions[other])
+                    )
+        return graph
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_graph_is_byte_identical_to_loop_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        positions = {
+            i: Point(float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0, 60, size=(150, 2)))
+        }
+        bulk = build_charging_graph(positions, radius_m=2.7)
+        loop = self._loop_reference(positions, radius_m=2.7)
+        assert list(bulk.nodes) == list(loop.nodes)
+        assert {n: bulk.nodes[n]["pos"] for n in bulk.nodes} == {
+            n: loop.nodes[n]["pos"] for n in loop.nodes
+        }
+        assert set(map(frozenset, bulk.edges)) == set(
+            map(frozenset, loop.edges)
+        )
+        for u, v in loop.edges:
+            # Exact float equality: both paths use the same hypot and
+            # the same Point.distance_to weight math.
+            assert bulk[u][v]["weight"] == loop[u][v]["weight"]  # repro-lint: disable=float-eq
+
+    def test_downstream_mis_unchanged(self):
+        from repro.graphs.mis import maximal_independent_set
+
+        rng = np.random.default_rng(9)
+        positions = {
+            i: Point(float(x), float(y))
+            for i, (x, y) in enumerate(rng.uniform(0, 40, size=(120, 2)))
+        }
+        bulk = build_charging_graph(positions, radius_m=2.7)
+        loop = self._loop_reference(positions, radius_m=2.7)
+        for strategy in ("min_degree", "lexicographic", "random"):
+            assert maximal_independent_set(
+                bulk, strategy=strategy
+            ) == maximal_independent_set(loop, strategy=strategy)

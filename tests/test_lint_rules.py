@@ -690,7 +690,12 @@ class TestFormatters:
         text = format_findings_text(findings)
         assert "[float-eq]" in text
         assert "1 error(s)" in text
-        payload = json.loads(format_findings_json(findings))
+        report = json.loads(format_findings_json(findings))
+        assert report["format"] == "repro-lint/1"
+        assert report["summary"] == {
+            "total": 1, "errors": 1, "warnings": 0
+        }
+        payload = report["findings"]
         assert payload[0]["rule"] == "float-eq"
         assert payload[0]["line"] == 3
         assert payload[0]["severity"] == "error"
