@@ -1,0 +1,143 @@
+"""Micro-benchmark: the planning daemon under 2x overload.
+
+The robustness bar for :class:`~repro.serve.PlanningDaemon`: offered
+sustained traffic at roughly twice its measured capacity with a small
+bounded queue, the daemon must (a) never crash or hang — every ticket
+reaches exactly one terminal record; (b) shed the excess with
+structured ``queue-full`` rejections rather than unbounded queueing;
+(c) keep accepted-job latency bounded by the queue depth, not the
+backlog. This module drives :mod:`repro.bench.loadgen` once as a test
+and once as a standalone reporter.
+
+Run standalone (e.g. from CI) with::
+
+    python benchmarks/test_micro_daemon.py --quick
+"""
+
+from __future__ import annotations
+
+from repro.bench.loadgen import (
+    loadgen_record,
+    make_corpus,
+    measure_capacity_jps,
+    run_load,
+)
+from repro.serve import REJECT_QUEUE_FULL, STATUS_REJECTED, DaemonConfig
+from repro.units import approx_zero
+
+MAX_QUEUE = 8
+DURATION_S = 4.0
+OVERLOAD = 2.0
+TERMINAL_STATUSES = {"ok", "error", "timeout", "pool-broken", "rejected"}
+
+
+def overload_run(duration_s: float = DURATION_S,
+                 max_queue: int = MAX_QUEUE, seed: int = 0):
+    """One capacity probe + one 2x-overload run; returns both."""
+    config = DaemonConfig(workers=1, max_queue=max_queue)
+    corpus = make_corpus(num_networks=2, num_sensors=25, seed=seed)
+    capacity = measure_capacity_jps(config, corpus, probes=6)
+    result = run_load(config, corpus, capacity * OVERLOAD, duration_s)
+    return config, capacity, result
+
+
+def test_daemon_survives_sustained_overload():
+    config, capacity, result = overload_run()
+    records = result.records
+
+    # (a) Liveness: every submission resolved to one terminal record,
+    # in submission order, and the drain completed (run_load returned).
+    assert records, "the load run submitted nothing"
+    assert [r["id"] for r in records] == [
+        f"lg-{i}" for i in range(len(records))
+    ]
+    assert all(r["status"] in TERMINAL_STATUSES for r in records)
+    assert all(t.latency_s is not None for t in result.tickets)
+
+    # (b) Backpressure: 2x overload against a tiny queue must shed
+    # load, and only with the structured queue-full reason.
+    rejected = [r for r in records if r["status"] == STATUS_REJECTED]
+    assert rejected, (
+        f"no rejections at {result.offered_rate_jps:.1f} jobs/s "
+        f"(capacity ~{capacity:.1f})"
+    )
+    assert {r["reason"] for r in rejected} == {REJECT_QUEUE_FULL}
+    accepted = [r for r in records if r["status"] != STATUS_REJECTED]
+    assert accepted and all(r["status"] == "ok" for r in accepted)
+
+    # (c) Bounded latency: an accepted job waits behind at most a full
+    # queue plus the in-flight job. Generous constant for CI noise.
+    worst_wait_s = (config.max_queue + 1) * (
+        config.workers / capacity
+    )
+    assert max(result.accepted_latencies_s) < 4.0 * worst_wait_s
+
+    # The final ledger agrees with what the tickets observed.
+    counters = result.final_status["counters"]
+    assert counters["submitted"] == len(records)
+    assert sum(counters["rejected"].values()) == len(rejected)
+
+
+def main(quick: bool = False, repeats: int = 1,
+         json_path: str = None) -> int:
+    duration_s = 2.0 if quick else DURATION_S
+    config = capacity = result = None
+    for rep in range(max(1, repeats)):
+        config, capacity, result = overload_run(
+            duration_s=duration_s, seed=rep
+        )
+    summary = result.summary()
+    print(f"capacity        : {capacity:8.1f} jobs/s "
+          f"(workers={config.workers}, queue={config.max_queue})")
+    print(f"offered         : {result.offered_rate_jps:8.1f} jobs/s "
+          f"({OVERLOAD}x) for {result.duration_s:g}s")
+    print(f"submitted       : {summary['submitted']:8d}")
+    print(f"outcomes        : {summary['outcomes']}")
+    print(f"rejection ratio : {summary['rejection_ratio']:8.2%}")
+    if "p50_latency_s" in summary:
+        print(f"latency p50     : "
+              f"{summary['p50_latency_s'] * 1000:8.1f} ms")
+        print(f"latency p95     : "
+              f"{summary['p95_latency_s'] * 1000:8.1f} ms")
+        print(f"latency p99     : "
+              f"{summary['p99_latency_s'] * 1000:8.1f} ms")
+    if json_path:
+        from repro.bench.record import write_bench_record
+
+        write_bench_record(
+            loadgen_record(config, result, capacity), json_path
+        )
+        print(f"wrote {json_path}")
+    bad = [
+        s for s in summary["outcomes"]
+        if s not in TERMINAL_STATUSES
+    ]
+    if bad:
+        print(f"FAIL: non-terminal outcomes {bad}")
+        return 1
+    if approx_zero(summary["rejection_ratio"]):
+        print("FAIL: 2x overload produced no rejections")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter load run (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="load-run repetitions; the last is reported (default: 1)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a repro-bench/1 record here",
+    )
+    _args = parser.parse_args()
+    sys.exit(main(quick=_args.quick, repeats=_args.repeats,
+                  json_path=_args.json))

@@ -12,6 +12,9 @@
   every algorithm executed under identical seeded fault draws.
 * :mod:`repro.bench.record` — machine-readable ``repro-bench/1``
   micro-benchmark records (median/min/max per metric).
+* :mod:`repro.bench.loadgen` — open-loop load generator for the
+  planning daemon (latency percentiles and rejection ratio under
+  overload).
 """
 
 from repro.bench.experiments import (
@@ -23,6 +26,14 @@ from repro.bench.fault_campaign import (
     FaultCampaignResult,
     FaultCampaignRow,
     run_fault_campaign,
+)
+from repro.bench.loadgen import (
+    LoadResult,
+    loadgen_record,
+    make_corpus,
+    measure_capacity_jps,
+    percentile,
+    run_load,
 )
 from repro.bench.record import (
     BENCH_FORMAT,
@@ -40,6 +51,7 @@ __all__ = [
     "ExperimentResult",
     "FaultCampaignResult",
     "FaultCampaignRow",
+    "LoadResult",
     "PaperParams",
     "SweepPoint",
     "bench_record",
@@ -47,9 +59,14 @@ __all__ = [
     "fig4_data_rate",
     "fig5_num_chargers",
     "format_series_table",
+    "loadgen_record",
+    "make_corpus",
     "make_instance",
+    "measure_capacity_jps",
     "median_of",
+    "percentile",
     "run_fault_campaign",
+    "run_load",
     "run_sweep",
     "series_to_rows",
     "summarize_samples",

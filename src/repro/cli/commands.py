@@ -383,14 +383,22 @@ def _write_demo_jobs(path: str) -> None:
 
 
 def cmd_serve(args) -> int:
-    """Run a JSONL job batch through the batch planning service."""
+    """Run a JSONL job batch through the batch planning service.
+
+    Malformed input lines don't abort the stream: each becomes one
+    structured ``repro-result/1`` error line, interleaved in input
+    order with the planned jobs' results.
+    """
     from repro.io import dump_jsonl_line
-    from repro.serve import PlanningService, load_jobs
+    from repro.serve import PlanningService, load_jobs_lenient
 
     if args.demo:
         _write_demo_jobs(args.jobs)
         print(f"wrote demo batch: {args.jobs}", file=sys.stderr)
-    jobs = load_jobs(args.jobs)
+    parsed, line_errors = load_jobs_lenient(args.jobs)
+    for err in line_errors:
+        print(f"  line {err.lineno}: {err.error}", file=sys.stderr)
+    jobs = [job for _, job in parsed]
     service = PlanningService(
         workers=args.workers,
         timeout_s=args.timeout,
@@ -407,8 +415,13 @@ def cmd_serve(args) -> int:
         ),
     )
     elapsed = time.time() - t0
+    records = [
+        (lineno, result.to_dict())
+        for (lineno, _), result in zip(parsed, results)
+    ] + [(err.lineno, err.to_result_dict()) for err in line_errors]
+    records.sort(key=lambda pair: pair[0])
     lines = "".join(
-        dump_jsonl_line(r.to_dict()) + "\n" for r in results
+        dump_jsonl_line(record) + "\n" for _, record in records
     )
     if args.output:
         with open(args.output, "w") as fh:
@@ -420,10 +433,108 @@ def cmd_serve(args) -> int:
         f"{stats['jobs']} jobs in {elapsed:.2f}s: {stats['ok']} ok, "
         f"{stats['errors']} errors, {stats['timeouts']} timeouts "
         f"({stats['groups']} groups, {stats['context_reuses']} context "
-        f"reuses, {stats['memo_hits']} memo hits)",
+        f"reuses, {stats['memo_hits']} memo hits; "
+        f"{len(line_errors)} malformed input lines)",
         file=sys.stderr,
     )
-    return 0 if stats["ok"] == stats["jobs"] else 1
+    return 0 if stats["ok"] == stats["jobs"] and not line_errors else 1
+
+
+def cmd_daemon(args) -> int:
+    """Run the always-on planning daemon (stdio or unix socket)."""
+    import json
+    import os
+    import signal
+    import threading
+    from dataclasses import replace
+
+    from repro.serve.daemon import DaemonConfig, PlanningDaemon
+    from repro.serve.transport import make_socket_server, serve_stream
+
+    def load_config() -> DaemonConfig:
+        config = (
+            DaemonConfig.from_file(args.config)
+            if args.config
+            else DaemonConfig()
+        )
+        overrides = {}
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.timeout is not None:
+            overrides["timeout_s"] = args.timeout
+        if args.queue is not None:
+            overrides["max_queue"] = args.queue
+        if args.max_requests is not None:
+            overrides["max_requests"] = args.max_requests
+        if args.degraded_planner is not None:
+            overrides["degraded_planner"] = args.degraded_planner
+        return replace(config, **overrides) if overrides else config
+
+    daemon = PlanningDaemon(load_config())
+    daemon.start()
+
+    if args.socket is None:
+        # One session over stdin/stdout; EOF drains and exits.
+        try:
+            written = serve_stream(daemon, sys.stdin, sys.stdout)
+        finally:
+            daemon.shutdown()
+        print(
+            f"daemon stdio session done: {written} response lines",
+            file=sys.stderr,
+        )
+        return 0
+
+    server = make_socket_server(daemon, args.socket)
+    stop = threading.Event()
+    reload_requested = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGHUP, lambda *_: reload_requested.set())
+    serve_thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    serve_thread.start()
+    print(
+        f"daemon listening on {args.socket} (pid {os.getpid()}, "
+        f"workers {daemon.config.workers})",
+        file=sys.stderr,
+    )
+    while not stop.wait(0.2):
+        if reload_requested.is_set():
+            reload_requested.clear()
+            try:
+                new_config = load_config()
+            except (OSError, ValueError, TypeError) as exc:
+                print(f"reload failed: {exc}", file=sys.stderr)
+                continue
+            notes = daemon.reconfigure(new_config)
+            for note in notes:
+                print(f"reload: {note}", file=sys.stderr)
+            if not notes:
+                print("reload: no changes", file=sys.stderr)
+    print("draining: in-flight jobs finish, queued jobs are "
+          "rejected", file=sys.stderr)
+    server.shutdown()
+    daemon.shutdown()
+    server.close()
+    print(json.dumps(daemon.status()), file=sys.stderr)
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Drive the planning daemon at a sustained offered rate."""
+    from repro.bench.loadgen import main as loadgen_main
+
+    return loadgen_main(
+        workers=args.workers,
+        duration_s=args.duration,
+        rate_jps=args.rate,
+        max_queue=args.queue,
+        overload=args.overload,
+        seed=args.seed,
+        json_path=args.json,
+    )
 
 
 def cmd_sanitize(args) -> int:
@@ -458,6 +569,7 @@ def cmd_sanitize(args) -> int:
             hash_seeds=hash_seeds,
             worker_counts=worker_counts,
             plugin=args.plugin,
+            daemon_cells=args.daemon,
         )
     else:
         jobs = (
@@ -475,14 +587,16 @@ def cmd_sanitize(args) -> int:
             hash_seeds=hash_seeds,
             worker_counts=worker_counts,
             plugin=args.plugin,
+            daemon_cells=args.daemon,
         )
 
     for cell in report.cells:
         tag = "baseline" if cell.get("baseline") else "compared"
+        mode = " daemon" if cell.get("daemon") else ""
         print(
             f"  PYTHONHASHSEED={cell['hash_seed']} "
-            f"workers={cell['workers']}: {cell['lines']} parity lines "
-            f"({tag})",
+            f"workers={cell['workers']}{mode}: {cell['lines']} "
+            f"parity lines ({tag})",
             file=sys.stderr,
         )
     if args.output:

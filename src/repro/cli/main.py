@@ -212,6 +212,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.set_defaults(func=commands.cmd_serve)
 
+    dmn = sub.add_parser(
+        "daemon",
+        help="run the always-on planning daemon: JSONL requests over "
+        "stdin/stdout or a unix socket, with admission control and "
+        "graceful SIGTERM drain",
+    )
+    dmn.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket to listen on (default: one stdio session)",
+    )
+    dmn.add_argument(
+        "--config", default=None, metavar="JSON",
+        help="DaemonConfig JSON file; SIGHUP reloads it "
+        "(CLI flags override file values)",
+    )
+    dmn.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: 1, in-process)",
+    )
+    dmn.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job watchdog bound in seconds (default: none)",
+    )
+    dmn.add_argument(
+        "--queue", type=int, default=None,
+        help="admission queue capacity (default: 64)",
+    )
+    dmn.add_argument(
+        "--max-requests", type=int, default=None,
+        help="largest admissible request set (default: no cap)",
+    )
+    dmn.add_argument(
+        "--degraded-planner", choices=_PLANNER_NAMES, default=None,
+        help="planner used while the circuit breaker is open "
+        "(default: K-EDF)",
+    )
+    dmn.set_defaults(func=commands.cmd_daemon)
+
+    ldg = sub.add_parser(
+        "loadgen",
+        help="drive the planning daemon at a sustained offered rate "
+        "and report latency percentiles + rejection ratio",
+    )
+    ldg.add_argument(
+        "--workers", type=int, default=1,
+        help="daemon worker processes (default: 1, in-process)",
+    )
+    ldg.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds of sustained traffic (default: 5)",
+    )
+    ldg.add_argument(
+        "--rate", type=float, default=None,
+        help="offered jobs/second (default: measured capacity x "
+        "overload factor)",
+    )
+    ldg.add_argument(
+        "--overload", type=float, default=2.0,
+        help="offered-rate multiplier over measured capacity when "
+        "--rate is not given (default: 2.0)",
+    )
+    ldg.add_argument(
+        "--queue", type=int, default=16,
+        help="daemon admission queue capacity (default: 16)",
+    )
+    ldg.add_argument(
+        "--seed", type=int, default=0,
+        help="traffic corpus seed (default: 0)",
+    )
+    ldg.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the repro-bench/1 record here",
+    )
+    ldg.set_defaults(func=commands.cmd_loadgen)
+
     ins = sub.add_parser(
         "inspect",
         help="structural and load analysis of a stored instance",
@@ -273,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", default=None, metavar="N,N,...",
         help="comma-separated pool sizes (default: 1,2,4; "
         "with --quick: 1,2)",
+    )
+    san.add_argument(
+        "--daemon", action="store_true",
+        help="also run every matrix cell through the planning daemon "
+        "and byte-compare against the batch-service baseline",
     )
     san.add_argument(
         "--plugin", default=None,

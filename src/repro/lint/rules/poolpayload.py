@@ -1,10 +1,11 @@
 """Rule R10 ``pool-payload`` — only module-level callables into the pool.
 
-:func:`repro.serve.pool.run_tasks` pickles the task function into
-worker processes. Lambdas, closures and bound methods are either
+:func:`repro.serve.pool.run_tasks` and the persistent
+:class:`repro.serve.health.SupervisedPool` pickle the task function
+into worker processes. Lambdas, closures and bound methods are either
 unpicklable outright (spawn start methods) or — worse, under fork —
 *silently* picklable today and broken the day the start method or the
-enclosing scope changes. The pool's docstring states the contract
+enclosing scope changes. The pool docstrings state the contract
 ("a picklable module-level callable"); this rule enforces it at every
 call site, project-wide:
 
@@ -18,9 +19,10 @@ call site, project-wide:
   ``def`` anywhere in the linted project passes, as do names from
   un-linted (external) modules, which we cannot see into.
 
-The rule keys on the *name* ``run_tasks`` (bare or attribute call) so
-aliased imports are still covered; a false hit on an unrelated
-function of the same name can be pragma'd away.
+The rule keys on the *names* ``run_tasks`` and ``SupervisedPool``
+(bare or attribute call, so aliased imports are still covered); both
+take ``fn`` as the first positional or as a keyword. A false hit on
+an unrelated function of the same name can be pragma'd away.
 """
 
 from __future__ import annotations
@@ -40,9 +42,12 @@ from repro.lint.visitor import RuleVisitor
 #: The pool entry point's name; bare calls and ``mod.run_tasks`` both count.
 POOL_ENTRY = "run_tasks"
 
+#: The persistent pool's constructor; same ``fn``-first contract.
+POOL_CLASS = "SupervisedPool"
+
 
 def _payload_expr(node: ast.Call):
-    """The ``fn`` argument of a ``run_tasks`` call, or ``None``."""
+    """The ``fn`` argument of a pool call, or ``None``."""
     if node.args:
         return node.args[0]
     for kw in node.keywords:
@@ -106,31 +111,35 @@ class _Visitor(RuleVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
-        is_pool_call = (
-            isinstance(func, ast.Name) and func.id == POOL_ENTRY
-        ) or (isinstance(func, ast.Attribute) and func.attr == POOL_ENTRY)
-        if is_pool_call:
+        callee = None
+        for pool_name in (POOL_ENTRY, POOL_CLASS):
+            if (isinstance(func, ast.Name) and func.id == pool_name) or (
+                isinstance(func, ast.Attribute) and func.attr == pool_name
+            ):
+                callee = pool_name
+                break
+        if callee is not None:
             payload = _payload_expr(node)
             if payload is not None:
-                self._check_payload(payload)
+                self._check_payload(payload, callee)
         self.generic_visit(node)
 
-    def _check_payload(self, payload: ast.expr) -> None:
+    def _check_payload(self, payload: ast.expr, callee: str) -> None:
         if isinstance(payload, ast.Lambda):
             self.report(
                 payload,
-                "lambda passed to run_tasks cannot be pickled into "
-                "pool workers; define a module-level function instead",
+                f"lambda passed to {callee} cannot be pickled into "
+                f"pool workers; define a module-level function instead",
             )
             return
         if isinstance(payload, ast.Attribute):
             if not self._is_module_attr(payload.value):
                 self.report(
                     payload,
-                    "bound method passed to run_tasks drags its whole "
-                    "instance through the worker pickle (or fails under "
-                    "spawn); pass a module-level function and put the "
-                    "state in the payload",
+                    f"bound method passed to {callee} drags its whole "
+                    f"instance through the worker pickle (or fails under "
+                    f"spawn); pass a module-level function and put the "
+                    f"state in the payload",
                 )
             return
         if not isinstance(payload, ast.Name):
@@ -141,7 +150,7 @@ class _Visitor(RuleVisitor):
         if any(name in scope for scope in self._local_defs):
             self.report(
                 payload,
-                f"'{name}' is a nested def (a closure); run_tasks "
+                f"'{name}' is a nested def (a closure); {callee} "
                 f"workers re-import the task function, so it must live "
                 f"at module level",
             )
@@ -161,8 +170,9 @@ class PoolPayloadRule(ProjectRule):
 
     id = "pool-payload"
     description = (
-        "callables submitted to serve.pool.run_tasks must be "
-        "module-level (no lambdas/closures/bound methods)"
+        "callables submitted to serve.pool.run_tasks or "
+        "serve.health.SupervisedPool must be module-level "
+        "(no lambdas/closures/bound methods)"
     )
 
     def check_project(
@@ -176,4 +186,4 @@ class PoolPayloadRule(ProjectRule):
             yield from _Visitor(self, ctx, project).run()
 
 
-__all__ = ["POOL_ENTRY", "PoolPayloadRule"]
+__all__ = ["POOL_CLASS", "POOL_ENTRY", "PoolPayloadRule"]

@@ -25,9 +25,10 @@ between runs and stay out of the key.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.io import (
     JOB_FORMAT,
@@ -198,6 +199,85 @@ def save_jobs(jobs: Sequence[PlanJob], path: PathLike) -> None:
     Path(path).write_text(jobs_to_jsonl(jobs))
 
 
+class JobStreamReader:
+    """Incremental ``repro-job/1`` record reader.
+
+    Turns one parsed record at a time into a :class:`PlanJob` while
+    carrying the cross-record state that makes network sharing work:
+    ``network_id`` labels bind for later ``network_ref`` lines, and
+    repeated ``network_path`` entries resolve to one shared ``WRSN``
+    object. The batch loaders and the long-lived daemon transport both
+    drive this class — the daemon keeps one reader per connection, so
+    a stream of jobs can inline each network once and reference it for
+    the rest of the session.
+    """
+
+    def __init__(self, base_dir: Optional[PathLike] = None):
+        self.base_dir = base_dir
+        self._by_label: Dict[str, WRSN] = {}
+        self._by_path: Dict[str, WRSN] = {}
+
+    def job_from_record(self, record: Dict, lineno: int) -> PlanJob:
+        """Materialize one record; ``lineno`` is 1-based for messages.
+
+        Raises:
+            ValueError: on a wrong format tag, a dangling
+                ``network_ref``, a record with no network at all, an
+                empty request set, or malformed field values.
+        """
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"job line {lineno}: expected a JSON object, got "
+                f"{type(record).__name__}"
+            )
+        if record.get("format") != JOB_FORMAT:
+            raise ValueError(
+                f"job line {lineno}: not a {JOB_FORMAT} record: "
+                f"format={record.get('format')!r}"
+            )
+        if "network" in record:
+            network = wrsn_from_dict(record["network"])
+            label = record.get("network_id")
+            if label is not None:
+                self._by_label[str(label)] = network
+        elif "network_ref" in record:
+            label = str(record["network_ref"])
+            if label not in self._by_label:
+                raise ValueError(
+                    f"job line {lineno}: network_ref {label!r} does not "
+                    f"match any earlier network_id"
+                )
+            network = self._by_label[label]
+        elif "network_path" in record:
+            raw_path = str(record["network_path"])
+            resolved = (
+                str(Path(self.base_dir) / raw_path)
+                if self.base_dir is not None
+                and not Path(raw_path).is_absolute()
+                else raw_path
+            )
+            if resolved not in self._by_path:
+                self._by_path[resolved] = load_wrsn(resolved)
+            network = self._by_path[resolved]
+        else:
+            raise ValueError(
+                f"job line {lineno}: needs one of 'network', "
+                f"'network_ref' or 'network_path'"
+            )
+        requests = record.get("requests")
+        if not requests:
+            raise ValueError(
+                f"job line {lineno}: needs a non-empty 'requests' list"
+            )
+        return PlanJob(
+            network=network,
+            request_ids=tuple(int(r) for r in requests),
+            num_chargers=int(record.get("num_chargers", 2)),
+            planner=str(record.get("planner", "Appro")),
+            job_id=str(record.get("id") or f"job-{lineno - 1}"),
+        )
+
+
 def jobs_from_records(
     records: Sequence[Dict], base_dir: Optional[PathLike] = None
 ) -> List[PlanJob]:
@@ -211,58 +291,101 @@ def jobs_from_records(
         ValueError: on a wrong format tag, a dangling ``network_ref``,
             a record with no network at all, or an empty request set.
     """
-    jobs: List[PlanJob] = []
-    by_label: Dict[str, WRSN] = {}
-    by_path: Dict[str, WRSN] = {}
-    for lineno, record in enumerate(records, start=1):
-        if record.get("format") != JOB_FORMAT:
-            raise ValueError(
-                f"job line {lineno}: not a {JOB_FORMAT} record: "
-                f"format={record.get('format')!r}"
+    reader = JobStreamReader(base_dir=base_dir)
+    return [
+        reader.job_from_record(record, lineno)
+        for lineno, record in enumerate(records, start=1)
+    ]
+
+
+@dataclass(frozen=True)
+class JobLineError:
+    """One rejected line of a leniently-read job stream.
+
+    Attributes:
+        lineno: 1-based line number in the source stream.
+        error: what was wrong with it (JSON damage or a record-level
+            validation failure).
+    """
+
+    lineno: int
+    error: str
+
+    def to_result_dict(self) -> Dict:
+        """A structured ``repro-result/1`` error record for the line.
+
+        Lets stream consumers emit one output line per input line even
+        for input that never became a job.
+        """
+        return {
+            "format": RESULT_FORMAT,
+            "id": f"line-{self.lineno}",
+            "index": self.lineno - 1,
+            "status": "error",
+            "planner": None,
+            "num_chargers": None,
+            "group": "",
+            "attempts": 0,
+            "longest_delay_s": None,
+            "schedule": None,
+            "error": self.error,
+            "context_reused": False,
+            "plan_s": 0.0,
+            "total_s": 0.0,
+            "cache": {},
+        }
+
+
+def jobs_from_lines(
+    lines: Iterable[str], base_dir: Optional[PathLike] = None
+) -> Tuple[List[Tuple[int, PlanJob]], List[JobLineError]]:
+    """Lenient line-by-line job parsing: damage is reported, not fatal.
+
+    Each non-blank line is JSON-decoded and materialized independently;
+    a malformed line (broken JSON, wrong format tag, missing network,
+    bad field values) becomes a :class:`JobLineError` while later lines
+    keep parsing — including ``network_ref`` lines pointing at labels
+    bound *before* the damage.
+
+    Returns:
+        ``(jobs, errors)`` where ``jobs`` pairs each parsed job with
+        its 1-based line number, and ``errors`` lists the rejected
+        lines in stream order.
+    """
+    reader = JobStreamReader(base_dir=base_dir)
+    jobs: List[Tuple[int, PlanJob]] = []
+    errors: List[JobLineError] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(
+                JobLineError(lineno, f"malformed JSON: {exc}")
             )
-        if "network" in record:
-            network = wrsn_from_dict(record["network"])
-            label = record.get("network_id")
-            if label is not None:
-                by_label[str(label)] = network
-        elif "network_ref" in record:
-            label = str(record["network_ref"])
-            if label not in by_label:
-                raise ValueError(
-                    f"job line {lineno}: network_ref {label!r} does not "
-                    f"match any earlier network_id"
-                )
-            network = by_label[label]
-        elif "network_path" in record:
-            raw_path = str(record["network_path"])
-            resolved = (
-                str(Path(base_dir) / raw_path)
-                if base_dir is not None and not Path(raw_path).is_absolute()
-                else raw_path
-            )
-            if resolved not in by_path:
-                by_path[resolved] = load_wrsn(resolved)
-            network = by_path[resolved]
-        else:
-            raise ValueError(
-                f"job line {lineno}: needs one of 'network', "
-                f"'network_ref' or 'network_path'"
-            )
-        requests = record.get("requests")
-        if not requests:
-            raise ValueError(
-                f"job line {lineno}: needs a non-empty 'requests' list"
-            )
-        jobs.append(
-            PlanJob(
-                network=network,
-                request_ids=tuple(int(r) for r in requests),
-                num_chargers=int(record.get("num_chargers", 2)),
-                planner=str(record.get("planner", "Appro")),
-                job_id=str(record.get("id") or f"job-{lineno - 1}"),
-            )
+            continue
+        try:
+            jobs.append((lineno, reader.job_from_record(record, lineno)))
+        except (ValueError, TypeError, KeyError) as exc:
+            errors.append(JobLineError(lineno, str(exc)))
+    return jobs, errors
+
+
+def load_jobs_lenient(
+    path: PathLike,
+) -> Tuple[List[Tuple[int, PlanJob]], List[JobLineError]]:
+    """Leniently read a ``repro-job/1`` JSONL file.
+
+    The malformed-input-tolerant counterpart of :func:`load_jobs`:
+    damaged lines come back as :class:`JobLineError` records instead
+    of aborting the whole file.
+    """
+    with open(path) as fh:
+        return jobs_from_lines(
+            fh, base_dir=Path(path).resolve().parent
         )
-    return jobs
 
 
 def load_jobs(path: PathLike) -> List[PlanJob]:
@@ -277,11 +400,15 @@ def load_jobs(path: PathLike) -> List[PlanJob]:
 
 
 __all__ = [
+    "JobLineError",
     "JobResult",
+    "JobStreamReader",
     "PlanJob",
     "job_to_dict",
+    "jobs_from_lines",
     "jobs_from_records",
     "jobs_to_jsonl",
     "load_jobs",
+    "load_jobs_lenient",
     "save_jobs",
 ]

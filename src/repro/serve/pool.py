@@ -20,7 +20,12 @@ Failure semantics are uniform across both executors:
   with exponential backoff between waves (``backoff_s · 2^(wave-1)``);
   the final outcome records the total attempt count;
 * a worker process dying (``BrokenProcessPool``) fails only the tasks
-  in flight; the pool is rebuilt before the next retry wave.
+  in flight; the pool is rebuilt before the next retry wave — but at
+  most ``max_pool_rebuilds`` times per :func:`run_tasks` call. A
+  payload that *deterministically* kills its worker would otherwise
+  break the pool once per retry wave; when the rebuild budget is
+  exhausted the still-pending tasks get a terminal ``"pool-broken"``
+  outcome instead of another doomed wave.
 
 Determinism: outcomes are positionally stable and the function is
 expected to be a pure function of its payload, so any two runs — and
@@ -40,6 +45,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+STATUS_POOL_BROKEN = "pool-broken"
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,9 @@ class PoolConfig:
         backoff_s: base of the exponential inter-wave backoff.
         mp_context: multiprocessing start method (``"fork"``,
             ``"spawn"``, ...); ``None`` uses the platform default.
+        max_pool_rebuilds: executor rebuilds tolerated per
+            :func:`run_tasks` call before the still-pending tasks are
+            abandoned with a terminal ``"pool-broken"`` outcome.
     """
 
     workers: int = 1
@@ -61,6 +70,7 @@ class PoolConfig:
     max_retries: int = 0
     backoff_s: float = 0.0
     mp_context: Optional[str] = None
+    max_pool_rebuilds: int = 2
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -76,6 +86,11 @@ class PoolConfig:
         if self.backoff_s < 0:
             raise ValueError(
                 f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got "
+                f"{self.max_pool_rebuilds}"
             )
 
 
@@ -219,6 +234,7 @@ def _run_pooled(
         )
 
     executor = _make_executor()
+    rebuilds = 0
     try:
         pending = list(range(len(payloads)))
         for wave in range(config.max_retries + 1):
@@ -271,6 +287,23 @@ def _run_pooled(
                         progress(outcome)
             pending = [i for i in pending if not outcomes[i].ok]
             if broken:
+                if rebuilds >= config.max_pool_rebuilds:
+                    # Rebuild budget exhausted: the payload set breaks
+                    # every pool it meets. Abandon the survivors with a
+                    # terminal outcome instead of another doomed wave.
+                    if wave < config.max_retries:
+                        for i in pending:
+                            outcome = outcomes[i]
+                            outcome.status = STATUS_POOL_BROKEN
+                            outcome.error = (
+                                f"worker pool broke {rebuilds + 1} "
+                                f"time(s); giving up (max_pool_rebuilds"
+                                f"={config.max_pool_rebuilds})"
+                            )
+                            if progress is not None:
+                                progress(outcome)
+                    break
+                rebuilds += 1
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = _make_executor()
     finally:
@@ -307,6 +340,7 @@ __all__ = [
     "PoolConfig",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_POOL_BROKEN",
     "STATUS_TIMEOUT",
     "TaskOutcome",
     "TaskTimeout",

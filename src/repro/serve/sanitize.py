@@ -122,23 +122,46 @@ def run_child(
     workers: int,
     output_path: str,
     plugin: Optional[str] = None,
+    daemon: bool = False,
 ) -> None:
     """Plan the corpus at one worker count; write parity lines.
 
     Runs inside the subprocess the parent spawned with the desired
     ``PYTHONHASHSEED``. ``plugin`` names a module to import first
     (extension planners register on import; fork-start pool workers
-    inherit the registration).
+    inherit the registration). With ``daemon`` the corpus goes through
+    the always-on :class:`~repro.serve.daemon.PlanningDaemon` instead
+    of the batch service — the daemon's accepted results must be
+    byte-identical to the serial planner's, so daemon cells diff
+    against the same baseline as every other cell.
     """
     if plugin:
         import importlib
 
         importlib.import_module(plugin)
-    from repro.serve.service import PlanningService
 
     jobs = load_jobs(jobs_path)
-    service = PlanningService(workers=workers)
-    results = service.run(jobs)
+    if daemon:
+        from repro.serve.daemon import DaemonConfig, PlanningDaemon
+
+        config = DaemonConfig(
+            workers=workers,
+            max_queue=max(1000, len(jobs)),
+            mp_context="fork" if workers > 1 else None,
+        )
+        with PlanningDaemon(config) as service:
+            tickets = [service.submit(job) for job in jobs]
+            for ticket in tickets:
+                ticket.wait(600.0)
+        results = [ticket.job_result for ticket in tickets]
+        if any(result is None for result in results):
+            raise RuntimeError(
+                "daemon rejected jobs despite an oversized queue"
+            )
+    else:
+        from repro.serve.service import PlanningService
+
+        results = PlanningService(workers=workers).run(jobs)
     with open(output_path, "w") as fh:
         for result in results:
             fh.write(result.parity_key() + "\n")
@@ -156,8 +179,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="parity-line output path")
     parser.add_argument("--plugin", default=None,
                         help="module to import before planning")
+    parser.add_argument("--daemon", action="store_true",
+                        help="route the corpus through PlanningDaemon")
     args = parser.parse_args(argv)
-    run_child(args.jobs, args.workers, args.output, plugin=args.plugin)
+    run_child(args.jobs, args.workers, args.output,
+              plugin=args.plugin, daemon=args.daemon)
     return 0
 
 
@@ -286,6 +312,7 @@ def run_matrix(
     extra_pythonpath: Sequence[str] = (),
     timeout_s: float = 600.0,
     work_dir: Optional[str] = None,
+    daemon_cells: bool = False,
 ) -> SanitizeReport:
     """Replan ``jobs_path`` across the perturbation matrix and diff.
 
@@ -303,6 +330,11 @@ def run_matrix(
         timeout_s: per-child wall bound.
         work_dir: where to keep the per-cell parity files (a temp
             directory when omitted).
+        daemon_cells: additionally run every ``(hash_seed, workers)``
+            cell through :class:`~repro.serve.daemon.PlanningDaemon`
+            and diff it against the same baseline — the daemon's
+            accepted results must be byte-identical to the batch
+            service's.
 
     Raises:
         RuntimeError: when a child exits non-zero — that is an
@@ -314,56 +346,65 @@ def run_matrix(
         baseline_hash_seed=hash_seeds[0],
         baseline_workers=worker_counts[0],
     )
+    modes = (False, True) if daemon_cells else (False,)
 
     def sweep(out_dir: str) -> None:
         baseline_text: Optional[str] = None
         for hash_seed in hash_seeds:
             for workers in worker_counts:
-                out_path = os.path.join(
-                    out_dir, f"parity-h{hash_seed}-w{workers}.jsonl"
-                )
-                cmd = [
-                    sys.executable,
-                    "-m",
-                    "repro.serve.sanitize",
-                    "--jobs", jobs_path,
-                    "--workers", str(workers),
-                    "--output", out_path,
-                ]
-                if plugin:
-                    cmd += ["--plugin", plugin]
-                proc = subprocess.run(
-                    cmd,
-                    env=_child_env(hash_seed, extra_pythonpath),
-                    capture_output=True,
-                    text=True,
-                    timeout=timeout_s,
-                )
-                if proc.returncode != 0:
-                    raise RuntimeError(
-                        f"sanitizer child (PYTHONHASHSEED={hash_seed}, "
-                        f"workers={workers}) failed with code "
-                        f"{proc.returncode}:\n{proc.stderr[-2000:]}"
+                for daemon in modes:
+                    tag = "-daemon" if daemon else ""
+                    out_path = os.path.join(
+                        out_dir,
+                        f"parity-h{hash_seed}-w{workers}{tag}.jsonl",
                     )
-                text = Path(out_path).read_text()
-                cell = {
-                    "hash_seed": hash_seed,
-                    "workers": workers,
-                    "lines": len(text.splitlines()),
-                }
-                if baseline_text is None:
-                    baseline_text = text
-                    cell["baseline"] = True
-                elif text != baseline_text:
-                    cell["baseline"] = False
-                    report.divergences.append(
-                        first_divergence(
-                            baseline_text, text, hash_seed, workers
+                    cmd = [
+                        sys.executable,
+                        "-m",
+                        "repro.serve.sanitize",
+                        "--jobs", jobs_path,
+                        "--workers", str(workers),
+                        "--output", out_path,
+                    ]
+                    if plugin:
+                        cmd += ["--plugin", plugin]
+                    if daemon:
+                        cmd += ["--daemon"]
+                    proc = subprocess.run(
+                        cmd,
+                        env=_child_env(hash_seed, extra_pythonpath),
+                        capture_output=True,
+                        text=True,
+                        timeout=timeout_s,
+                    )
+                    if proc.returncode != 0:
+                        raise RuntimeError(
+                            f"sanitizer child (PYTHONHASHSEED="
+                            f"{hash_seed}, workers={workers}"
+                            f"{', daemon' if daemon else ''}) failed "
+                            f"with code {proc.returncode}:\n"
+                            f"{proc.stderr[-2000:]}"
                         )
-                    )
-                else:
-                    cell["baseline"] = False
-                report.cells.append(cell)
+                    text = Path(out_path).read_text()
+                    cell = {
+                        "hash_seed": hash_seed,
+                        "workers": workers,
+                        "daemon": daemon,
+                        "lines": len(text.splitlines()),
+                    }
+                    if baseline_text is None:
+                        baseline_text = text
+                        cell["baseline"] = True
+                    elif text != baseline_text:
+                        cell["baseline"] = False
+                        report.divergences.append(
+                            first_divergence(
+                                baseline_text, text, hash_seed, workers
+                            )
+                        )
+                    else:
+                        cell["baseline"] = False
+                    report.cells.append(cell)
 
     if work_dir is not None:
         sweep(work_dir)
@@ -380,6 +421,7 @@ def sanitize_corpus(
     plugin: Optional[str] = None,
     extra_pythonpath: Sequence[str] = (),
     timeout_s: float = 600.0,
+    daemon_cells: bool = False,
 ) -> SanitizeReport:
     """Save ``jobs`` to a temp corpus and :func:`run_matrix` over it."""
     with tempfile.TemporaryDirectory(prefix="repro-sanitize-") as tmp:
@@ -393,6 +435,7 @@ def sanitize_corpus(
             extra_pythonpath=extra_pythonpath,
             timeout_s=timeout_s,
             work_dir=tmp,
+            daemon_cells=daemon_cells,
         )
 
 

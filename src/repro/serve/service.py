@@ -39,6 +39,8 @@ from repro.serve.jobs import JobResult, PlanJob
 from repro.serve.pool import (
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_POOL_BROKEN,
+    STATUS_TIMEOUT,
     PoolConfig,
     TaskOutcome,
     run_tasks,
@@ -56,6 +58,49 @@ REQUIRED_VALUE_KEYS = frozenset(
 _RUN_COUNTER = itertools.count()
 
 
+def result_from_outcome(
+    job: PlanJob, index: int, group_key: str, outcome: TaskOutcome
+) -> JobResult:
+    """Turn one pool :class:`TaskOutcome` into a :class:`JobResult`.
+
+    Shared by the batch service and the planning daemon so both
+    front-ends validate worker payloads and populate result fields the
+    same way: a non-``ok`` outcome keeps its status and error text; an
+    ``ok`` outcome whose value is not a well-formed worker payload
+    (:data:`REQUIRED_VALUE_KEYS`) is demoted to an error.
+    """
+    result = JobResult(
+        job_id=job.job_id or f"job-{index}",
+        index=index,
+        status=outcome.status,
+        planner=job.planner,
+        num_chargers=job.num_chargers,
+        group_key=group_key,
+        attempts=outcome.attempts,
+        error=outcome.error,
+        total_s=outcome.elapsed_s,
+    )
+    if outcome.status != STATUS_OK:
+        return result
+    value = outcome.value
+    if not isinstance(value, dict) or not REQUIRED_VALUE_KEYS <= set(
+        value
+    ):
+        result.status = STATUS_ERROR
+        result.error = (
+            "malformed worker payload: expected a dict with keys "
+            f"{sorted(REQUIRED_VALUE_KEYS)}, got "
+            f"{type(value).__name__}"
+        )
+        return result
+    result.longest_delay_s = value["longest_delay_s"]
+    result.schedule = value["schedule"]
+    result.context_reused = bool(value["context_reused"])
+    result.plan_s = float(value["plan_s"])
+    result.cache = dict(value["cache"])
+    return result
+
+
 class PlanningService:
     """Run batches of planning jobs over a cache-sharing worker pool.
 
@@ -70,6 +115,9 @@ class PlanningService:
         share_contexts: reuse one planning context per job group (on by
             default); off builds a cold, unshared context per job —
             the honest baseline for the warm-vs-cold benchmark.
+        max_pool_rebuilds: broken-pool rebuilds tolerated per batch
+            before the remaining jobs get terminal ``"pool-broken"``
+            results (see :class:`~repro.serve.pool.PoolConfig`).
     """
 
     def __init__(
@@ -80,6 +128,7 @@ class PlanningService:
         backoff_s: float = 0.0,
         mp_context: Optional[str] = None,
         share_contexts: bool = True,
+        max_pool_rebuilds: int = 2,
     ):
         self.config = PoolConfig(
             workers=workers,
@@ -87,6 +136,7 @@ class PlanningService:
             max_retries=max_retries,
             backoff_s=backoff_s,
             mp_context=mp_context,
+            max_pool_rebuilds=max_pool_rebuilds,
         )
         self.share_contexts = share_contexts
         self._last_stats: Dict[str, int] = {}
@@ -160,7 +210,7 @@ class PlanningService:
 
         def _pool_progress(outcome: TaskOutcome) -> None:
             i = payload_jobs[outcome.index]
-            results[i] = self._to_result(
+            results[i] = result_from_outcome(
                 jobs[i], i, group_keys[i], outcome
             )
             if progress is not None:
@@ -211,40 +261,6 @@ class PlanningService:
             for ctx in warm_contexts
         }
 
-    def _to_result(
-        self, job: PlanJob, index: int, group_key: str, outcome: TaskOutcome
-    ) -> JobResult:
-        result = JobResult(
-            job_id=job.job_id or f"job-{index}",
-            index=index,
-            status=outcome.status,
-            planner=job.planner,
-            num_chargers=job.num_chargers,
-            group_key=group_key,
-            attempts=outcome.attempts,
-            error=outcome.error,
-            total_s=outcome.elapsed_s,
-        )
-        if outcome.status != STATUS_OK:
-            return result
-        value = outcome.value
-        if not isinstance(value, dict) or not REQUIRED_VALUE_KEYS <= set(
-            value
-        ):
-            result.status = STATUS_ERROR
-            result.error = (
-                "malformed worker payload: expected a dict with keys "
-                f"{sorted(REQUIRED_VALUE_KEYS)}, got "
-                f"{type(value).__name__}"
-            )
-            return result
-        result.longest_delay_s = value["longest_delay_s"]
-        result.schedule = value["schedule"]
-        result.context_reused = bool(value["context_reused"])
-        result.plan_s = float(value["plan_s"])
-        result.cache = dict(value["cache"])
-        return result
-
     @staticmethod
     def _aggregate(results: Sequence[JobResult]) -> Dict[str, int]:
         stats = {
@@ -252,6 +268,7 @@ class PlanningService:
             "ok": 0,
             "errors": 0,
             "timeouts": 0,
+            "pool_broken": 0,
             "groups": len({r.group_key for r in results}),
             "context_reuses": 0,
             "attempts": 0,
@@ -261,8 +278,14 @@ class PlanningService:
         for r in results:
             if r.ok:
                 stats["ok"] += 1
-            elif r.status == "timeout":
+            elif r.status == STATUS_TIMEOUT:
                 stats["timeouts"] += 1
+            elif r.status == STATUS_POOL_BROKEN:
+                # Abandoned when the pool's rebuild budget ran out;
+                # counted as an error too so "ok + errors + timeouts"
+                # keeps summing to "jobs" for existing consumers.
+                stats["pool_broken"] += 1
+                stats["errors"] += 1
             else:
                 stats["errors"] += 1
             stats["context_reuses"] += int(r.context_reused)
@@ -272,4 +295,4 @@ class PlanningService:
         return stats
 
 
-__all__ = ["PlanningService", "REQUIRED_VALUE_KEYS"]
+__all__ = ["PlanningService", "REQUIRED_VALUE_KEYS", "result_from_outcome"]

@@ -22,11 +22,13 @@ from repro.sim.events import Event, EventQueue
 from repro.sim.faults import (
     FaultPlan,
     FaultyOutcome,
+    RequestSurge,
     RoundFaults,
     draw_round_faults,
     execute_with_faults,
     get_scenario,
     scenario_names,
+    surge_victims,
 )
 from repro.sim.mcv import MCVTrajectory, replay_schedule
 from repro.sim.metrics import SimMetrics
@@ -51,6 +53,7 @@ __all__ = [
     "MCVTrajectory",
     "MonitoringSimulation",
     "OnlineMonitoringSimulation",
+    "RequestSurge",
     "RoundFaults",
     "SECONDS_PER_YEAR",
     "SimMetrics",
@@ -66,4 +69,5 @@ __all__ = [
     "replay_schedule",
     "robustness_report",
     "scenario_names",
+    "surge_victims",
 ]

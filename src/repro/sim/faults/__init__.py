@@ -19,7 +19,11 @@ The subsystem splits into four pieces:
 """
 
 from repro.sim.faults.executor import FaultyOutcome, execute_with_faults
-from repro.sim.faults.injector import draw_round_faults, rng_for_round
+from repro.sim.faults.injector import (
+    draw_round_faults,
+    rng_for_round,
+    surge_victims,
+)
 from repro.sim.faults.scenarios import (
     SCENARIOS,
     get_scenario,
@@ -34,6 +38,7 @@ from repro.sim.faults.specs import (
     FaultSpec,
     MCVBreakdown,
     NO_FAULTS,
+    RequestSurge,
     RoundFaults,
     SensorFailure,
     TravelSlowdown,
@@ -55,6 +60,7 @@ __all__ = [
     "FaultyOutcome",
     "MCVBreakdown",
     "NO_FAULTS",
+    "RequestSurge",
     "RoundFaults",
     "SCENARIOS",
     "SensorFailure",
@@ -66,4 +72,5 @@ __all__ = [
     "replay_with_factors",
     "rng_for_round",
     "scenario_names",
+    "surge_victims",
 ]

@@ -13,7 +13,8 @@ through a :class:`numpy.random.SeedSequence`, so
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from typing import List, Sequence
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.sim.faults.specs import (
     DepotCommDelay,
     FaultPlan,
     MCVBreakdown,
+    RequestSurge,
     RoundFaults,
     SensorFailure,
     TravelSlowdown,
@@ -71,6 +73,8 @@ def draw_round_faults(
     interruption_pause_s = 0.0
     comm_delay_s = 0.0
     failed = []
+    surge_fraction = 0.0
+    surge_rank = 0.0
     # Every spec consumes a fixed number of draws whether or not it
     # fires, so draws stay aligned across rounds with different
     # outcomes (a misfire must not shift later specs' streams).
@@ -113,6 +117,14 @@ def draw_round_faults(
             delay = float(gen.uniform(spec.min_delay_s, spec.max_delay_s))
             if fires:
                 comm_delay_s += delay
+        elif isinstance(spec, RequestSurge):
+            fraction = float(
+                gen.uniform(spec.min_fraction, spec.max_fraction)
+            )
+            rank = float(gen.uniform())
+            if fires:
+                surge_fraction = max(surge_fraction, fraction)
+                surge_rank = rank
         else:
             raise TypeError(f"unknown fault spec {type(spec).__name__}")
     if breakdown is not None and breakdown.vehicle >= num_vehicles:
@@ -128,7 +140,31 @@ def draw_round_faults(
         interruption_pause_s=interruption_pause_s,
         comm_delay_s=comm_delay_s,
         failed_sensors=frozenset(failed),
+        surge_fraction=surge_fraction,
+        surge_rank=surge_rank,
     )
 
 
-__all__ = ["draw_round_faults", "rng_for_round"]
+def surge_victims(
+    faults: RoundFaults, candidate_ids: Sequence[int]
+) -> List[int]:
+    """Which of the above-threshold sensors a request surge drains.
+
+    Deterministic in the draw: a wraparound slice of the sorted
+    candidate population, starting at the drawn rank fraction and
+    covering ``ceil(surge_fraction * len(candidates))`` sensors.
+    Returns an empty list when no surge fired.
+    """
+    if faults.surge_fraction <= 0.0 or not candidate_ids:
+        return []
+    ordered = sorted(candidate_ids)
+    count = min(
+        len(ordered), math.ceil(faults.surge_fraction * len(ordered))
+    )
+    start = int(faults.surge_rank * len(ordered)) % len(ordered)
+    return sorted(
+        ordered[(start + i) % len(ordered)] for i in range(count)
+    )
+
+
+__all__ = ["draw_round_faults", "rng_for_round", "surge_victims"]

@@ -16,6 +16,10 @@ these cover the regimes the robustness analysis cares about:
 ``comms-lag``             breakdowns whose notification reaches the
                           depot late (stresses the repair's frozen
                           prefix)
+``overload``              correlated request surges: healthy sensors
+                          drain below the threshold in bursts,
+                          flooding the round's request set (stresses
+                          batching and admission, not tours)
 ``perfect-storm``         everything at once
 ========================  =============================================
 """
@@ -31,6 +35,7 @@ from repro.sim.faults.specs import (
     FaultPlan,
     FaultSpec,
     MCVBreakdown,
+    RequestSurge,
     SensorFailure,
     TravelSlowdown,
 )
@@ -54,6 +59,11 @@ SCENARIOS: Dict[str, Tuple[FaultSpec, ...]] = {
     "comms-lag": (
         MCVBreakdown(probability=1.0),
         DepotCommDelay(probability=1.0, min_delay_s=30.0, max_delay_s=300.0),
+    ),
+    "overload": (
+        RequestSurge(
+            probability=0.5, min_fraction=0.2, max_fraction=0.6
+        ),
     ),
     "perfect-storm": (
         MCVBreakdown(probability=0.5),

@@ -23,6 +23,11 @@ The five fault classes mirror what field deployments report:
   monitored population.
 * :class:`DepotCommDelay` — the depot learns about a breakdown late,
   delaying when the repair can take effect.
+* :class:`RequestSurge` — a correlated demand spike (battery sag in a
+  cold snap, a duty-cycle burst): a slice of the *healthy* population
+  drains below the request threshold at once, flooding the round's
+  request set. The only demand-side fault — it stresses admission and
+  batching rather than tour execution.
 """
 
 from __future__ import annotations
@@ -140,6 +145,27 @@ class DepotCommDelay:
             )
 
 
+@dataclass(frozen=True)
+class RequestSurge:
+    """With the given per-round probability, a fraction of the
+    above-threshold sensors (drawn in ``[min_fraction, max_fraction]``)
+    abruptly drains to just below the request threshold and joins the
+    round's request set. Which sensors are hit is drawn by rank
+    fraction so the draw is population-size independent."""
+
+    probability: float = 1.0
+    min_fraction: float = 0.2
+    max_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        if not 0.0 <= self.min_fraction <= self.max_fraction <= 1.0:
+            raise ValueError(
+                f"need 0 <= min_fraction <= max_fraction <= 1, got "
+                f"[{self.min_fraction}, {self.max_fraction}]"
+            )
+
+
 FaultSpec = Union[
     MCVBreakdown,
     ChargeDroop,
@@ -147,6 +173,7 @@ FaultSpec = Union[
     TravelSlowdown,
     SensorFailure,
     DepotCommDelay,
+    RequestSurge,
 ]
 
 
@@ -202,6 +229,8 @@ class RoundFaults:
     interruption_pause_s: float = 0.0
     comm_delay_s: float = 0.0
     failed_sensors: FrozenSet[int] = frozenset()
+    surge_fraction: float = 0.0
+    surge_rank: float = 0.0
 
     @property
     def any(self) -> bool:
@@ -212,6 +241,7 @@ class RoundFaults:
             or not approx_eq(self.travel_factor, 1.0)
             or self.interrupted_rank is not None
             or bool(self.failed_sensors)
+            or self.surge_fraction > 0.0
         )
 
 
@@ -233,6 +263,7 @@ __all__ = [
     "FaultSpec",
     "MCVBreakdown",
     "NO_FAULTS",
+    "RequestSurge",
     "RoundFaults",
     "SensorFailure",
     "TravelSlowdown",

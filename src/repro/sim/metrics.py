@@ -38,6 +38,9 @@ class SimMetrics:
     round_deferred: List[int] = field(default_factory=list)
     #: Sensors permanently lost to hardware failure, in failure order.
     sensors_failed: List[int] = field(default_factory=list)
+    #: Sensors force-drained by request surges, per surge round
+    #: (fault runs with a demand-side scenario).
+    round_surged: List[int] = field(default_factory=list)
     #: Rounds in which at least one fault was injected.
     fault_rounds: int = 0
     #: Dead time attributable to faults: realized-vs-planned recharge
@@ -59,6 +62,12 @@ class SimMetrics:
         """Deferral events across all rounds (a sensor deferred in two
         rounds counts twice)."""
         return sum(self.round_deferred)
+
+    @property
+    def total_surged(self) -> int:
+        """Surge-drained sensors across all rounds (one sensor surged
+        in two rounds counts twice)."""
+        return sum(self.round_surged)
 
     @property
     def mean_longest_delay_s(self) -> float:
@@ -112,4 +121,6 @@ class SimMetrics:
                 f"hw_failed={len(self.sensors_failed)} "
                 f"fault_dead={self.fault_extra_dead_time_s / 60.0:.1f}min"
             )
+            if self.round_surged:
+                base += f" surged={self.total_surged}"
         return base

@@ -33,7 +33,7 @@ from repro.energy.battery import DEFAULT_REQUEST_THRESHOLD
 from repro.energy.charging import ChargerSpec
 from repro.energy.consumption import RadioModel
 from repro.network.topology import WRSN
-from repro.sim.faults.injector import draw_round_faults
+from repro.sim.faults.injector import draw_round_faults, surge_victims
 from repro.sim.faults.specs import FaultPlan, RoundFaults
 from repro.sim.metrics import SimMetrics
 from repro.sim.simulator import (
@@ -311,6 +311,22 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
                         assigned.discard(sid)
                         metrics.sensors_failed.append(sid)
                 pending = [sid for sid in pending if sid in states]
+                # Request surge: healthy, unassigned sensors drain to
+                # just below the threshold and join the pending pool.
+                exempt = set(pending) | assigned
+                surged = surge_victims(
+                    faults,
+                    [sid for sid in states if sid not in exempt],
+                )
+                for sid in surged:
+                    st = states[sid]
+                    st.recharge_to(
+                        0.99 * self.threshold * st.capacity_j, t
+                    )
+                if surged:
+                    pending.extend(surged)
+                    pending.sort()
+                    metrics.round_surged.append(len(surged))
                 if not pending:
                     metrics.fault_rounds += 1
                     vehicle_free_at[vehicle] = t + 1.0

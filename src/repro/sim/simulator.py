@@ -44,7 +44,7 @@ from repro.energy.policies import FULL_CHARGE, ChargingPolicy
 from repro.network.routing import build_routing_tree, relay_loads_bps
 from repro.network.topology import WRSN
 from repro.sim.faults.executor import execute_with_faults
-from repro.sim.faults.injector import draw_round_faults
+from repro.sim.faults.injector import draw_round_faults, surge_victims
 from repro.sim.faults.specs import FaultPlan
 from repro.sim.metrics import SimMetrics
 from repro.sim.scenario import ALGORITHMS, AlgorithmSpec
@@ -275,6 +275,22 @@ class MonitoringSimulation:
                         del states[sid]
                         metrics.sensors_failed.append(sid)
                 below = [sid for sid in below if sid in states]
+                # Request surge: a slice of the healthy population
+                # drains to just below the threshold and joins the
+                # round — same schedulers, much bigger instance.
+                surged = surge_victims(
+                    faults,
+                    [sid for sid in states if sid not in set(below)],
+                )
+                for sid in surged:
+                    st = states[sid]
+                    st.recharge_to(
+                        0.99 * self.threshold * st.capacity_j, t
+                    )
+                if surged:
+                    below.extend(surged)
+                    below.sort()
+                    metrics.round_surged.append(len(surged))
                 if not below:
                     metrics.fault_rounds += 1
                     t = t + 1.0

@@ -1,0 +1,75 @@
+"""The ``repro daemon`` subcommand: parser wiring and a stdio session."""
+
+import io
+import json
+
+from repro.cli.main import build_parser, main
+from repro.io import RESULT_FORMAT
+from repro.network.topology import random_wrsn
+from repro.serve import PlanJob, jobs_to_jsonl
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["daemon"])
+        assert args.socket is None
+        assert args.config is None
+        assert args.workers is None
+        assert args.queue is None
+        assert args.degraded_planner is None
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            ["daemon", "--socket", "/tmp/d.sock", "--workers", "4",
+             "--timeout", "30", "--queue", "16", "--max-requests", "64",
+             "--degraded-planner", "GreedyCover",
+             "--config", "cfg.json"]
+        )
+        assert args.socket == "/tmp/d.sock"
+        assert args.workers == 4
+        assert args.timeout == 30.0
+        assert args.queue == 16
+        assert args.max_requests == 64
+        assert args.degraded_planner == "GreedyCover"
+        assert args.config == "cfg.json"
+
+
+class TestStdioSession:
+    def test_jobs_in_results_out(self, monkeypatch, capsys):
+        net = random_wrsn(num_sensors=15, seed=6)
+        ids = tuple(net.all_sensor_ids()[:8])
+        payload = jobs_to_jsonl(
+            [
+                PlanJob(net, ids, 2, "Appro", "a"),
+                PlanJob(net, ids, 1, "K-EDF", "b"),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(["daemon"])
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = [json.loads(x) for x in captured.out.splitlines()]
+        assert [r["format"] for r in rows] == [RESULT_FORMAT] * 2
+        assert [(r["id"], r["status"]) for r in rows] == [
+            ("a", "ok"), ("b", "ok"),
+        ]
+        assert "2 response lines" in captured.err
+
+    def test_config_file_applies(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        # An over-cap request set is rejected per the config file.
+        config = tmp_path / "daemon.json"
+        config.write_text(json.dumps({"max_requests": 2}))
+        net = random_wrsn(num_sensors=15, seed=6)
+        ids = tuple(net.all_sensor_ids()[:8])
+        payload = jobs_to_jsonl([PlanJob(net, ids, 2, "Appro", "big")])
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(["daemon", "--config", str(config)])
+        assert code == 0
+        rows = [
+            json.loads(x)
+            for x in capsys.readouterr().out.splitlines()
+        ]
+        assert rows[0]["status"] == "rejected"
+        assert rows[0]["reason"] == "payload-too-large"

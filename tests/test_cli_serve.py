@@ -77,6 +77,34 @@ class TestCmdServe:
         assert results[0]["status"] == "ok"
         assert results[1]["status"] == "error"
 
+    def test_malformed_lines_do_not_abort_the_stream(
+        self, jobs_file, tmp_path, capsys
+    ):
+        # Damage the corpus: insert a broken-JSON line between the two
+        # good jobs and append a wrong-format line. Every input line
+        # must come back as exactly one result line, in input order.
+        good = jobs_file.read_text().splitlines()
+        mixed = tmp_path / "mixed.jsonl"
+        mixed.write_text(
+            "\n".join(
+                [good[0], '{"format": "repro-job/1", "bro',
+                 good[1], '{"format": "nope"}']
+            )
+            + "\n"
+        )
+        code = main(["serve", str(mixed)])
+        assert code == 1
+        captured = capsys.readouterr()
+        rows = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["format"] for r in rows] == [RESULT_FORMAT] * 4
+        assert [r["id"] for r in rows] == ["a", "line-2", "b", "line-4"]
+        assert [r["status"] for r in rows] == [
+            "ok", "error", "ok", "error",
+        ]
+        assert "malformed JSON" in rows[1]["error"]
+        assert "line 2" in captured.err
+        assert "2 malformed input lines" in captured.err
+
     def test_demo_generates_then_runs(self, tmp_path, capsys):
         jobs_path = tmp_path / "demo.jsonl"
         code = main(

@@ -740,6 +740,56 @@ class TestPoolPayloadRule:
         )
         assert findings == []
 
+    def test_flags_lambda_into_supervised_pool(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.serve.health import SupervisedPool
+
+            def f():
+                return SupervisedPool(lambda p: p, workers=2)
+            """,
+            subdir="repro/cli",
+            select=["pool-payload"],
+        )
+        assert rules_of(findings) == {"pool-payload"}
+        assert "SupervisedPool" in findings[0].message
+
+    def test_flags_bound_method_fn_kwarg_supervised_pool(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.serve import health
+
+            class Daemon:
+                def build(self):
+                    return health.SupervisedPool(fn=self.execute)
+            """,
+            subdir="repro/cli",
+            select=["pool-payload"],
+        )
+        assert rules_of(findings) == {"pool-payload"}
+        assert "bound method" in findings[0].message
+
+    def test_module_level_function_into_supervised_pool_passes(
+        self, tmp_path
+    ):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.serve.health import SupervisedPool
+
+            def execute(p):
+                return p
+
+            def f():
+                return SupervisedPool(execute, workers=2)
+            """,
+            subdir="repro/cli",
+            select=["pool-payload"],
+        )
+        assert findings == []
+
     def test_module_attribute_passes(self, tmp_path):
         findings = lint_snippet(
             tmp_path,

@@ -187,6 +187,31 @@ class TestInjectedBug:
             cell["lines"] == len(jobs) for cell in report.cells
         )
 
+    @pytest.mark.slow
+    def test_daemon_cells_match_service_baseline(self, tmp_path):
+        # The daemon path (warm persistent contexts, admission,
+        # coalescing identity keys) must yield byte-identical parity
+        # lines to the batch service's.
+        jobs = build_corpus(
+            num_networks=1,
+            num_sensors=16,
+            planners=("Appro", "K-EDF"),
+            charger_counts=(1, 2),
+        )
+        report = sanitize_corpus(
+            jobs,
+            hash_seeds=(0,),
+            worker_counts=(1, 2),
+            daemon_cells=True,
+        )
+        assert report.ok, [d.describe() for d in report.divergences]
+        assert len(report.cells) == 4
+        daemon_cells = [c for c in report.cells if c["daemon"]]
+        assert len(daemon_cells) == 2
+        assert all(
+            cell["lines"] == len(jobs) for cell in report.cells
+        )
+
 
 def test_child_module_is_lint_clean_for_pool_rules():
     """The sanitizer's own module passes the determinism rules."""

@@ -23,6 +23,7 @@ from repro.pipeline import (
 from repro.serve import (
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_POOL_BROKEN,
     STATUS_TIMEOUT,
     PlanJob,
     PlanningService,
@@ -200,8 +201,24 @@ class TestPoolEngine:
         assert not outcomes[0].ok
         assert "died" in outcomes[0].error or "Broken" in outcomes[0].error
         # Siblings either completed or were collateral of the broken
-        # pool; at least one must have survived, and none may hang.
-        assert any(o.ok and o.value for o in outcomes[1:])
+        # pool (scheduling decides which); none may hang or vanish.
+        for o in outcomes[1:]:
+            if o.ok:
+                assert o.value
+            else:
+                assert "died" in o.error or "Broken" in o.error
+
+    def test_retry_rescues_broken_pool_collateral(self):
+        # With a retry wave, the collateral of the broken pool must
+        # come back clean: only "die" keeps failing.
+        outcomes = run_tasks(
+            _exit_or_echo,
+            ["die", "a", "b", "c"],
+            config=PoolConfig(workers=2, mp_context="fork",
+                              max_retries=3, max_pool_rebuilds=5),
+        )
+        assert not outcomes[0].ok
+        assert [o.value for o in outcomes[1:]] == ["a", "b", "c"]
 
     def test_retry_recovers_after_pool_rebuild(self):
         outcomes = run_tasks(
@@ -213,6 +230,63 @@ class TestPoolEngine:
         assert all(o.ok for o in outcomes)
         assert [o.value for o in outcomes] == ["a", "b"]
 
+    def test_rebuild_cap_yields_terminal_pool_broken(self):
+        # A payload that kills its worker on *every* attempt would
+        # previously break the pool once per retry wave; the rebuild
+        # cap must stop the carnage and mark the survivors terminally.
+        seen = []
+        outcomes = run_tasks(
+            _always_exit,
+            ["a", "b", "c"],
+            config=PoolConfig(
+                workers=2,
+                mp_context="fork",
+                max_retries=5,
+                max_pool_rebuilds=1,
+            ),
+            progress=seen.append,
+        )
+        assert [o.status for o in outcomes] == [STATUS_POOL_BROKEN] * 3
+        for o in outcomes:
+            assert "max_pool_rebuilds=1" in o.error
+            # One attempt per wave; 1 rebuild allows exactly 2 waves.
+            assert o.attempts == 2
+        # Exactly one (terminal) progress call per task — no dupes.
+        assert sorted(p.index for p in seen) == [0, 1, 2]
+
+    def test_rebuild_cap_zero_fails_fast(self):
+        outcomes = run_tasks(
+            _always_exit,
+            ["a"],
+            config=PoolConfig(workers=2, mp_context="fork",
+                              max_retries=3, max_pool_rebuilds=0),
+        )
+        assert outcomes[0].status == STATUS_POOL_BROKEN
+        assert outcomes[0].attempts == 1
+
+    def test_pool_broken_surfaces_through_service_stats(
+        self, fake_planners, net
+    ):
+        # The service maps the pool-broken outcome onto the job result
+        # and counts it both specifically and as an error.
+        jobs = _jobs(net, ["Die", "Die"])
+        register_planner(
+            PlannerInfo(name="Die", build=_dying_planner,
+                        multi_node=True, paper=False)
+        )
+        try:
+            service = PlanningService(workers=2, max_retries=4,
+                                      mp_context="fork",
+                                      max_pool_rebuilds=1)
+            results = service.run(jobs)
+        finally:
+            unregister_planner("Die")
+        assert all(r.status == STATUS_POOL_BROKEN for r in results)
+        stats = service.stats()
+        assert stats["pool_broken"] == 2
+        assert stats["errors"] == 2
+        assert stats["ok"] == 0
+
 
 def _exit_or_echo(payload):
     import os
@@ -220,6 +294,19 @@ def _exit_or_echo(payload):
     if payload == "die":
         os._exit(13)
     return payload
+
+
+def _always_exit(payload):
+    # Deterministic worker killer: breaks the pool on every attempt.
+    import os
+
+    os._exit(13)
+
+
+def _dying_planner(network, request_ids, num_chargers, **kwargs):
+    import os
+
+    os._exit(13)
 
 
 _EXIT_FLAG = None

@@ -14,12 +14,15 @@ from repro.io import (
 )
 from repro.network.topology import random_wrsn
 from repro.serve import (
+    JobLineError,
     JobResult,
     PlanJob,
     PlanningService,
     job_to_dict,
+    jobs_from_lines,
     jobs_from_records,
     load_jobs,
+    load_jobs_lenient,
     save_jobs,
 )
 
@@ -129,6 +132,85 @@ class TestLoaderErrors:
         del record["requests"]
         with pytest.raises(ValueError, match="requests"):
             jobs_from_records([record])
+
+
+class TestLenientLoading:
+    def _mixed_lines(self, net):
+        # Line 1: good, labels its network.  Line 2: broken JSON.
+        # Line 3: good, references the label across the damage.
+        # Line 4: wrong format tag.  Line 5: blank.  Line 6: empty
+        # request set.  Line 7: good again.
+        good = json.dumps(job_to_dict(_job(net, job_id="a"),
+                                      network_id="n0"))
+        ref = json.dumps(
+            {"format": JOB_FORMAT, "network_ref": "n0",
+             "requests": [1, 2], "num_chargers": 1, "id": "b"}
+        )
+        empty_req = json.dumps(
+            {"format": JOB_FORMAT, "network_ref": "n0",
+             "requests": [], "id": "c"}
+        )
+        tail = json.dumps(
+            {"format": JOB_FORMAT, "network_ref": "n0",
+             "requests": [3], "id": "d"}
+        )
+        return [
+            good,
+            '{"format": "repro-job/1", "requests": [1,',
+            ref,
+            '{"format": "nope", "requests": [1]}',
+            "   ",
+            empty_req,
+            tail,
+        ]
+
+    def test_mixed_corpus_keeps_good_lines(self, net):
+        jobs, errors = jobs_from_lines(self._mixed_lines(net))
+        assert [(n, j.job_id) for n, j in jobs] == [
+            (1, "a"), (3, "b"), (7, "d"),
+        ]
+        # Sharing survives the damaged lines between ref and label.
+        assert jobs[1][1].network is jobs[0][1].network
+        assert jobs[2][1].network is jobs[0][1].network
+        assert [e.lineno for e in errors] == [2, 4, 6]
+        assert "malformed JSON" in errors[0].error
+        assert "format" in errors[1].error
+        assert "requests" in errors[2].error
+
+    def test_all_bad_lines_yield_no_jobs(self):
+        jobs, errors = jobs_from_lines(["not json", "[1, 2]"])
+        assert jobs == []
+        assert len(errors) == 2
+        assert "expected a JSON object" in errors[1].error
+
+    def test_line_error_result_record(self):
+        record = JobLineError(4, "boom").to_result_dict()
+        assert record["format"] == RESULT_FORMAT
+        assert record["id"] == "line-4"
+        assert record["index"] == 3
+        assert record["status"] == "error"
+        assert record["error"] == "boom"
+        assert record["schedule"] is None
+
+    def test_load_jobs_lenient_matches_strict_on_clean_file(
+        self, net, tmp_path
+    ):
+        path = tmp_path / "jobs.jsonl"
+        save_jobs([_job(net, job_id="x"), _job(net, job_id="y")], path)
+        strict = load_jobs(path)
+        jobs, errors = load_jobs_lenient(path)
+        assert errors == []
+        assert [j.job_id for _, j in jobs] == [j.job_id for j in strict]
+        assert [n for n, _ in jobs] == [1, 2]
+
+    def test_lenient_loaded_jobs_execute(self, net, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        lines = self._mixed_lines(net)
+        path.write_text("".join(line + "\n" for line in lines))
+        jobs, errors = load_jobs_lenient(path)
+        results = PlanningService().run([j for _, j in jobs])
+        assert [r.ok for r in results] == [True, True, True]
+        assert len(errors) == 3
 
 
 class TestJobResult:

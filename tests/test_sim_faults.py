@@ -14,6 +14,7 @@ from repro.sim.faults import (
     FaultPlan,
     MCVBreakdown,
     NO_FAULTS,
+    RequestSurge,
     RoundFaults,
     SensorFailure,
     TravelSlowdown,
@@ -21,6 +22,7 @@ from repro.sim.faults import (
     execute_with_faults,
     get_scenario,
     scenario_names,
+    surge_victims,
 )
 from repro.sim.faults.injector import rng_for_round
 from repro.sim.faults.timeline import (
@@ -53,6 +55,7 @@ class TestSpecs:
         for cls in (
             MCVBreakdown, ChargeDroop, ChargeInterruption,
             TravelSlowdown, SensorFailure, DepotCommDelay,
+            RequestSurge,
         ):
             with pytest.raises(ValueError):
                 cls(probability=1.5)
@@ -69,6 +72,10 @@ class TestSpecs:
         with pytest.raises(ValueError):
             DepotCommDelay(min_delay_s=-1.0)
         with pytest.raises(ValueError):
+            RequestSurge(min_fraction=0.8, max_fraction=0.4)
+        with pytest.raises(ValueError):
+            RequestSurge(max_fraction=1.2)
+        with pytest.raises(ValueError):
             FaultPlan(seed=-1)
 
     def test_specs_are_frozen_and_hashable(self):
@@ -81,6 +88,7 @@ class TestSpecs:
         assert not NO_FAULTS.any
         assert RoundFaults(travel_factor=1.2).any
         assert RoundFaults(failed_sensors=frozenset({1})).any
+        assert RoundFaults(surge_fraction=0.3).any
 
     def test_with_seed(self):
         plan = get_scenario("breakdown", seed=0)
@@ -141,6 +149,52 @@ class TestInjector:
         assert faults.failed_sensors <= {7, 8, 9}
         empty = draw_round_faults(plan, 0, 3, sensor_ids=[])
         assert not empty.failed_sensors
+
+    def test_surge_draw_in_range(self):
+        plan = FaultPlan(
+            specs=(
+                RequestSurge(
+                    probability=1.0, min_fraction=0.25, max_fraction=0.5
+                ),
+            ),
+            seed=5,
+        )
+        faults = draw_round_faults(plan, 0, 3)
+        assert 0.25 <= faults.surge_fraction <= 0.5
+        assert 0.0 <= faults.surge_rank < 1.0
+
+    def test_surge_victims_deterministic_slice(self):
+        faults = RoundFaults(surge_fraction=0.5, surge_rank=0.9)
+        ids = [30, 10, 20, 40]
+        victims = surge_victims(faults, ids)
+        # ceil(0.5 * 4) = 2 victims, wraparound slice from rank 0.9
+        # of the sorted population (start index 3): {40, 10}.
+        assert victims == [10, 40]
+        assert surge_victims(faults, []) == []
+        assert surge_victims(RoundFaults(), ids) == []
+        everyone = surge_victims(
+            RoundFaults(surge_fraction=1.0, surge_rank=0.3), ids
+        )
+        assert everyone == sorted(ids)
+
+    def test_surge_keeps_draws_aligned(self):
+        # A surge spec ahead of a breakdown spec must not shift the
+        # breakdown's stream between firing and non-firing rounds:
+        # compare against a plan whose surge never fires.
+        always = FaultPlan(
+            specs=(RequestSurge(probability=1.0), MCVBreakdown()),
+            seed=8,
+        )
+        never = FaultPlan(
+            specs=(RequestSurge(probability=0.0), MCVBreakdown()),
+            seed=8,
+        )
+        for i in range(5):
+            a = draw_round_faults(always, i, 3)
+            b = draw_round_faults(never, i, 3)
+            assert a.breakdown == b.breakdown
+            assert a.surge_fraction > 0.0
+            assert b.surge_fraction == 0.0
 
     def test_empty_plan_draws_nothing(self):
         plan = get_scenario("none", seed=4)
@@ -349,4 +403,55 @@ class TestSimulatorWiring:
             fault_plan=get_scenario("breakdown", seed=3),
         ).run()
         assert metrics.fault_rounds > 0
+        assert metrics.num_rounds > 0
+
+    def test_overload_floods_request_sets(self, depleted_net):
+        base = MonitoringSimulation(
+            depleted_net, "K-EDF", num_chargers=3,
+            horizon_s=self.HORIZON,
+        ).run()
+        surged = MonitoringSimulation(
+            depleted_net, "K-EDF", num_chargers=3,
+            horizon_s=self.HORIZON,
+            fault_plan=get_scenario("overload", seed=4),
+        ).run()
+        assert surged.total_surged > 0
+        assert surged.fault_rounds > 0
+        # Demand-side only: surging drains healthy sensors into the
+        # request set, so rounds get bigger than the control run's
+        # (both start with everyone below threshold, so compare the
+        # steady state, not the max).
+        def mean(xs):
+            return sum(xs) / len(xs)
+
+        assert mean(surged.round_request_counts) > mean(
+            base.round_request_counts
+        )
+        assert "surged=" in surged.summary()
+        # No supply-side side effects: nothing broke down or bricked.
+        assert surged.total_repairs == 0
+        assert not surged.sensors_failed
+
+    def test_overload_runs_are_deterministic(self, depleted_net):
+        plan = get_scenario("overload", seed=11)
+        runs = [
+            MonitoringSimulation(
+                depleted_net, "Appro", num_chargers=2,
+                horizon_s=self.HORIZON, fault_plan=plan,
+            ).run()
+            for _ in range(2)
+        ]
+        assert (
+            runs[0].round_longest_delays_s
+            == runs[1].round_longest_delays_s
+        )
+        assert runs[0].round_surged == runs[1].round_surged
+        assert runs[0].dead_time_s == runs[1].dead_time_s
+
+    def test_online_overload(self, depleted_net):
+        metrics = OnlineMonitoringSimulation(
+            depleted_net, num_chargers=3, horizon_s=self.HORIZON,
+            fault_plan=get_scenario("overload", seed=5),
+        ).run()
+        assert metrics.total_surged > 0
         assert metrics.num_rounds > 0
