@@ -1,0 +1,313 @@
+"""Asymptotics campaign for the array tour engine (DESIGN §16).
+
+Times the vectorised kernels of :mod:`repro.tours.arrays` against the
+legacy scalar paths they replaced, on synthetic instances far larger
+than the paper's evaluation (the paper stops at 1 000 sensors; the
+campaign runs 2 000 / 5 000 / 10 000). Three measurements per size:
+
+* ``split`` — the min-max binary-search splitter
+  (:func:`repro.tours.splitting.split_tour_min_max`), array vs legacy;
+* ``two_opt`` — first-improvement 2-opt
+  (:func:`repro.tours.improve.two_opt`), array vs legacy, capped at
+  2 000 nodes (the legacy quadratic pass dominates the campaign's
+  wall-clock beyond that, and the production solver skips 2-opt above
+  600 nodes anyway);
+* ``solve`` — an end-to-end ``solve_k_minmax_tours`` with the
+  ``double_mst`` backbone at the largest size, demonstrating that the
+  full pipeline completes at 10 000 sensors.
+
+Every timed pair is **parity-checked first**: the campaign runs both
+paths once, asserts byte-identical orders / segments / achieved
+delays, and only then times them. The parity pass doubles as a warm-up
+— it fills the pairwise distance memo (what the legacy path reads) and
+the dense matrix memo (what the kernels read) — so both sides are
+timed warm and the comparison is purely algorithmic.
+
+Results are written as one ``repro-bench/1`` record
+(:mod:`repro.bench.record`); metric names carry the size suffix
+(``split_array_s_n2000``) because the record format requires equal
+sample counts per metric. The headline derived ratio is
+``combined_speedup_n2000`` — (legacy 2-opt + legacy split) / (array
+2-opt + array split) at 2 000 nodes — with a documented floor of
+:data:`SPEEDUP_FLOOR`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from statistics import median as _median
+
+from repro.bench.record import bench_record
+from repro.geometry.distcache import DistanceCache
+from repro.geometry.point import Point
+from repro.tours.arrays import use_arrays
+from repro.tours.improve import two_opt
+from repro.tours.kminmax import solve_k_minmax_tours
+from repro.tours.splitting import split_tour_min_max
+
+#: Campaign sizes (sensors per instance). The paper's figures stop at
+#: 1 000; the campaign probes one binary order of magnitude beyond.
+DEFAULT_SIZES = (2000, 5000, 10000)
+
+#: Documented lower bound on ``combined_speedup_n2000``; the committed
+#: ``BENCH_tours.json`` must show at least this (acceptance criterion).
+SPEEDUP_FLOOR = 5.0
+
+#: Largest size at which the legacy quadratic 2-opt is timed.
+TWO_OPT_MAX_NODES = 2000
+
+#: 2-opt passes per timed sample. Two passes are enough to exercise
+#: the apply/rescan machinery; bounding them keeps the legacy side's
+#: runtime proportional rather than open-ended.
+TWO_OPT_ROUNDS = 2
+
+
+def synthetic_instance(
+    num_nodes: int, seed: int
+) -> Tuple[Dict[int, Point], Point, Dict[int, float]]:
+    """A uniform random instance at constant spatial density.
+
+    The side length grows with ``sqrt(n)`` so the node density — and
+    hence the structure of tours — stays comparable across sizes.
+
+    Returns:
+        ``(positions, depot, service_s)`` — node id -> point, the
+        central depot, and node id -> charging seconds.
+    """
+    rng = random.Random(seed)
+    side = math.sqrt(num_nodes) * 20.0
+    positions = {
+        i: (rng.uniform(0.0, side), rng.uniform(0.0, side))
+        for i in range(num_nodes)
+    }
+    depot = (side / 2.0, side / 2.0)
+    service_s = {i: rng.uniform(60.0, 600.0) for i in range(num_nodes)}
+    return positions, depot, service_s
+
+
+class ParityError(AssertionError):
+    """Array and legacy paths disagreed — the campaign must not time
+    two computations that are not byte-identical."""
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> List[float]:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def run_asymptotics(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 3,
+    num_tours: int = 8,
+    speed_mps: float = 1.0,
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the campaign and return one ``repro-bench/1`` record.
+
+    Args:
+        sizes: instance sizes, ascending; the end-to-end solve runs at
+            the largest only.
+        repeats: timing samples per metric (every metric gets the same
+            count — a record-format requirement).
+        num_tours: ``K`` for the splitter and the end-to-end solve.
+        speed_mps: vehicle speed (scales delays, not rankings).
+        seed: instance generator seed.
+        progress: optional line sink for campaign progress.
+
+    Raises:
+        ParityError: when any array kernel disagrees with its legacy
+            oracle on any instance — nothing is timed past that point.
+        ValueError: on an empty size list or non-positive repeats.
+    """
+    if not sizes:
+        raise ValueError("the campaign needs at least one size")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive: {repeats}")
+    say = progress if progress is not None else (lambda line: None)
+    sizes = sorted(sizes)
+    metrics: Dict[str, List[float]] = {}
+    derived: Dict[str, float] = {}
+
+    for n in sizes:
+        positions, depot, service_map = synthetic_instance(n, seed)
+        service = service_map.__getitem__
+        dist = DistanceCache(positions, depot)
+        order = list(range(n))
+
+        # Parity gate (and warm-up) for the splitter.
+        say(f"n={n}: split parity check")
+        with use_arrays(False):
+            legacy_split = split_tour_min_max(
+                order, num_tours, positions, depot, speed_mps, service,
+                dist=dist,
+            )
+        array_split = split_tour_min_max(
+            order, num_tours, positions, depot, speed_mps, service,
+            dist=dist,
+        )
+        if array_split != legacy_split:
+            raise ParityError(
+                f"split_tour_min_max diverged at n={n}: "
+                f"array achieved {array_split[1]!r}, "
+                f"legacy achieved {legacy_split[1]!r}"
+            )
+
+        say(f"n={n}: timing split ({repeats}x each path)")
+        with use_arrays(False):
+            metrics[f"split_legacy_s_n{n}"] = _timed(
+                lambda: split_tour_min_max(
+                    order, num_tours, positions, depot, speed_mps,
+                    service, dist=dist,
+                ),
+                repeats,
+            )
+        metrics[f"split_array_s_n{n}"] = _timed(
+            lambda: split_tour_min_max(
+                order, num_tours, positions, depot, speed_mps, service,
+                dist=dist,
+            ),
+            repeats,
+        )
+        derived[f"split_speedup_n{n}"] = (
+            _median(metrics[f"split_legacy_s_n{n}"])
+            / _median(metrics[f"split_array_s_n{n}"])
+        )
+
+        if n <= TWO_OPT_MAX_NODES:
+            say(f"n={n}: two_opt parity check")
+            with use_arrays(False):
+                legacy_order = two_opt(
+                    order, positions, depot, max_rounds=TWO_OPT_ROUNDS,
+                    dist=dist,
+                )
+            array_order = two_opt(
+                order, positions, depot, max_rounds=TWO_OPT_ROUNDS,
+                dist=dist,
+            )
+            if array_order != legacy_order:
+                raise ParityError(
+                    f"two_opt diverged at n={n}: first difference at "
+                    f"position "
+                    f"{next(i for i, (a, b) in enumerate(zip(array_order, legacy_order)) if a != b)}"
+                )
+            say(f"n={n}: timing two_opt ({repeats}x each path)")
+            with use_arrays(False):
+                metrics[f"two_opt_legacy_s_n{n}"] = _timed(
+                    lambda: two_opt(
+                        order, positions, depot,
+                        max_rounds=TWO_OPT_ROUNDS, dist=dist,
+                    ),
+                    repeats,
+                )
+            metrics[f"two_opt_array_s_n{n}"] = _timed(
+                lambda: two_opt(
+                    order, positions, depot, max_rounds=TWO_OPT_ROUNDS,
+                    dist=dist,
+                ),
+                repeats,
+            )
+            derived[f"two_opt_speedup_n{n}"] = (
+                _median(metrics[f"two_opt_legacy_s_n{n}"])
+                / _median(metrics[f"two_opt_array_s_n{n}"])
+            )
+            derived[f"combined_speedup_n{n}"] = (
+                _median(metrics[f"two_opt_legacy_s_n{n}"])
+                + _median(metrics[f"split_legacy_s_n{n}"])
+            ) / (
+                _median(metrics[f"two_opt_array_s_n{n}"])
+                + _median(metrics[f"split_array_s_n{n}"])
+            )
+
+    # End-to-end at the largest size: double_mst backbone (matrix-free
+    # split, scipy MST), the configuration the 10k campaign stands on.
+    top = sizes[-1]
+    positions, depot, service_map = synthetic_instance(top, seed)
+    say(f"n={top}: end-to-end solve_k_minmax_tours (double_mst)")
+    solved: Dict[str, float] = {}
+
+    def solve() -> None:
+        tours, achieved = solve_k_minmax_tours(
+            list(range(top)), positions, depot, num_tours, speed_mps,
+            service_map.__getitem__, tsp_method="double_mst",
+        )
+        solved["achieved_delay_s"] = achieved
+        solved["tours"] = float(sum(1 for t in tours if t))
+
+    metrics[f"solve_double_mst_s_n{top}"] = _timed(solve, repeats)
+    derived[f"solve_achieved_delay_s_n{top}"] = solved["achieved_delay_s"]
+    derived[f"solve_tours_used_n{top}"] = solved["tours"]
+
+    record = bench_record(
+        benchmark="tours-asymptotics",
+        params={
+            "sizes": list(sizes),
+            "num_tours": num_tours,
+            "speed_mps": speed_mps,
+            "seed": seed,
+            "two_opt_rounds": TWO_OPT_ROUNDS,
+            "two_opt_max_nodes": TWO_OPT_MAX_NODES,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        metrics=metrics,
+        derived=derived,
+    )
+    return record
+
+
+def combined_speedup(record: Dict) -> Optional[float]:
+    """The headline ratio of a campaign record, if it was measured."""
+    for name, value in sorted(record.get("derived", {}).items()):
+        if name.startswith("combined_speedup_n"):
+            return float(value)
+    return None
+
+
+def format_asymptotics(record: Dict) -> str:
+    """Human-readable summary table of one campaign record."""
+    lines = [
+        f"tours asymptotics campaign "
+        f"(sizes {record['params']['sizes']}, "
+        f"{record['repeats']} repeats)",
+        f"{'metric':<28} {'median s':>12} {'min s':>12} {'max s':>12}",
+    ]
+    for name in sorted(record["metrics"]):
+        m = record["metrics"][name]
+        lines.append(
+            f"{name:<28} {m['median']:>12.4f} {m['min']:>12.4f} "
+            f"{m['max']:>12.4f}"
+        )
+    if record["derived"]:
+        lines.append("derived:")
+        for name in sorted(record["derived"]):
+            lines.append(f"  {name:<26} {record['derived'][name]:.3f}")
+    headline = combined_speedup(record)
+    if headline is not None:
+        floor = record["params"].get("speedup_floor", SPEEDUP_FLOOR)
+        verdict = "meets" if headline >= floor else "BELOW"
+        lines.append(
+            f"combined speedup {headline:.1f}x — {verdict} the "
+            f"documented {floor:.0f}x floor"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "SPEEDUP_FLOOR",
+    "TWO_OPT_MAX_NODES",
+    "TWO_OPT_ROUNDS",
+    "ParityError",
+    "combined_speedup",
+    "format_asymptotics",
+    "run_asymptotics",
+    "synthetic_instance",
+]

@@ -151,7 +151,15 @@ _FIGURES = {
 
 
 def cmd_bench(args) -> int:
-    """Regenerate one paper figure."""
+    """Regenerate one paper figure, or run the asymptotics campaign."""
+    if args.asymptotics or args.quick:
+        return _cmd_bench_asymptotics(args)
+    if args.figure is None:
+        print(
+            "bench: a figure is required unless --asymptotics or "
+            "--quick is given"
+        )
+        return 2
     driver, x_label, title = _FIGURES[args.figure]
     result = driver(
         instances=args.instances,
@@ -185,6 +193,35 @@ def cmd_bench(args) -> int:
             result, "dead_min",
             f"{title} — dead duration", "min",
         ))
+    return 0
+
+
+def _cmd_bench_asymptotics(args) -> int:
+    """Run the array-engine asymptotics campaign (DESIGN §16)."""
+    from repro.bench.asymptotics import (
+        DEFAULT_SIZES,
+        format_asymptotics,
+        run_asymptotics,
+    )
+    from repro.bench.record import write_bench_record
+
+    if args.quick:
+        sizes = args.sizes if args.sizes else [500]
+        repeats = 1
+    else:
+        sizes = args.sizes if args.sizes else list(DEFAULT_SIZES)
+        repeats = args.repeats
+    record = run_asymptotics(
+        sizes=sizes,
+        repeats=repeats,
+        seed=args.seed,
+        progress=lambda line: print(f"  .. {line}"),
+    )
+    print()
+    print(format_asymptotics(record))
+    if args.json:
+        write_bench_record(record, args.json)
+        print(f"\nwrote {args.json}")
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.core.insertion import extend_schedule
 from repro.core.schedule import ChargingSchedule
 from repro.core.validation import resolve_conflicts
 from repro.energy.charging import ChargerSpec, full_charge_time
+from repro.geometry.distcache import DistanceCache
 from repro.graphs.auxiliary import auxiliary_max_degree, build_auxiliary_graph
 from repro.graphs.coverage import coverage_sets
 from repro.graphs.mis import maximal_independent_set
@@ -185,6 +186,15 @@ def appro_schedule(
         pair_time = pairwise_charge_time_fn(
             positions, deficits, spec, efficiency
         )
+    # One shared distance cache per run: the context's when planning
+    # through the pipeline, else a fresh cache threaded through both the
+    # K-min-max solve and the schedule (previously the no-context path
+    # passed None and every tours call rebuilt its own).
+    shared_dist = (
+        context.distance
+        if context is not None
+        else DistanceCache(positions, depot)
+    )
     schedule = ChargingSchedule(
         depot=depot,
         positions=positions,
@@ -193,7 +203,7 @@ def appro_schedule(
         charger=spec,
         num_tours=num_chargers,
         pairwise_charge_time=pair_time,
-        distance=context.distance if context is not None else None,
+        distance=shared_dist,
     )
 
     # Step 5: K min-max tours over the conflict-free core, with the
@@ -212,6 +222,7 @@ def appro_schedule(
             spec.travel_speed_mps,
             service=lambda v: tau[v],
             tsp_method=tsp_method,
+            dist=shared_dist,
         )
     for k, tour in enumerate(tours):
         for node in tour:

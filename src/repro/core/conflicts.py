@@ -45,6 +45,7 @@ O(waits · Σ_s d_s log d_s) while producing byte-identical schedules
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.schedule import ChargingSchedule
@@ -274,10 +275,21 @@ class ConflictResolver:
     unaffected stops are untouched; conflicts involving an affected
     stop are recomputed from the fresh intervals.
 
+    Each per-sensor group is kept as a *sorted interval list* — entries
+    keyed ``(start_s, stop)`` over the same dense stop index the
+    resolver's pair ordering uses — maintained by ``bisect`` as waits
+    move intervals. A moved stop then scans its groups in start order
+    and stops at the first entry with ``finish - start <= eps``: every
+    later entry starts even later and can overlap at most a touching
+    amount (floats included — IEEE subtraction is monotone), so the
+    re-check visits only genuine overlap candidates instead of whole
+    groups, and nothing is re-sorted per wait.
+
     The maintained set is therefore identical, round for round, to
     re-running :func:`conflicting_pairs` from scratch — the parity
     tests pin this — at a per-wait cost of
-    O(suffix · disk-occupancy) instead of O(n²).
+    O(suffix · log d + candidates) instead of O(suffix · d) group
+    scans (d = disk occupancy).
 
     Args:
         schedule: the schedule to resolve (mutated via
@@ -310,6 +322,21 @@ class ConflictResolver:
             )
         }
         self._groups = stop_groups(schedule, skip_tour)
+        #: stop -> its current charging interval; the removal key for
+        #: the sorted lists below (and a fresh-read shortcut: intervals
+        #: of unaffected stops never move).
+        self._intervals: Dict[int, Tuple[float, float]] = {
+            node: schedule.stop_interval(node)
+            for members in self._groups.values()
+            for node in members
+        }
+        #: sensor -> interval entries sorted by ``(start_s, stop)``.
+        self._by_sensor: Dict[int, List[Tuple[float, int]]] = {
+            sensor: sorted(
+                (self._intervals[node][0], node) for node in members
+            )
+            for sensor, members in self._groups.items()
+        }
         self._pairs: Dict[Tuple[int, int], float] = {
             (u, v): overlap
             for u, v, overlap in conflicting_pairs(
@@ -346,7 +373,8 @@ class ConflictResolver:
         schedule.add_wait(node, extra_wait_s)
         tour_index = schedule.tour_of[node]
         tour = schedule.tours[tour_index]
-        affected = set(tour[tour.index(node):])
+        suffix = tour[tour.index(node):]
+        affected = set(suffix)
 
         self._pairs = {
             pair: overlap
@@ -354,18 +382,41 @@ class ConflictResolver:
             if pair[0] not in affected and pair[1] not in affected
         }
 
+        # Re-key the moved stops' entries in the sorted interval lists
+        # before scanning, so every start-order prune below sees
+        # current keys (an affected stop may be a candidate of another
+        # affected stop's scan).
+        for moved in suffix:
+            old = self._intervals.get(moved)
+            if old is None:  # empty-disk or skip_tour stops: no entries
+                continue
+            fresh = schedule.stop_interval(moved)
+            if fresh == old:
+                continue
+            for sensor in schedule.coverage[moved]:
+                entries = self._by_sensor[sensor]
+                at = bisect.bisect_left(entries, (old[0], moved))
+                del entries[at]
+                bisect.insort(entries, (fresh[0], moved))
+            self._intervals[moved] = fresh
+
         pos = self._pos
         eps = self.eps
         tour_of = schedule.tour_of
+        intervals = self._intervals
         for moved in sorted(affected):
             if moved not in pos:  # skip_tour stops are never re-checked
                 continue
             m_start, m_finish = schedule.stop_interval(moved)
             for sensor in schedule.coverage[moved]:
-                for other in self._groups.get(sensor, ()):
+                for o_start, other in self._by_sensor.get(sensor, ()):
+                    if m_finish - o_start <= eps:
+                        # Sorted by start: every later entry overlaps
+                        # at most a touching amount.
+                        break
                     if other == moved or tour_of[other] == tour_index:
                         continue
-                    o_start, o_finish = schedule.stop_interval(other)
+                    o_finish = intervals[other][1]
                     overlap = min(m_finish, o_finish) - max(
                         m_start, o_start
                     )

@@ -22,7 +22,9 @@ other sentinels wrap the cache, see ``repro.tours.tsp.build_tsp_order``).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.geometry.distance import euclidean
 from repro.geometry.point import PointLike
@@ -47,8 +49,14 @@ class DistanceCache:
         self._positions = positions
         self._depot = depot
         self._memo: Dict[Tuple[Hashable, Hashable], float] = {}
+        self._dense: Dict[Tuple[Hashable, ...], np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+
+    @property
+    def has_depot(self) -> bool:
+        """Whether the label ``None`` resolves to a depot position."""
+        return self._depot is not None
 
     def position_of(self, label: Hashable) -> PointLike:
         """Resolve a label (``None`` = depot) to its position.
@@ -79,6 +87,87 @@ class DistanceCache:
         self._memo[key] = d
         self._memo[(b, a)] = d
         return d
+
+    def dense_matrix(self, labels: Sequence[Hashable]) -> np.ndarray:
+        """Dense ``(n+1) x (n+1)`` float64 distance matrix over ``labels``.
+
+        Row/column ``i < n`` is ``labels[i]``; the last row/column is
+        the depot. The result is memoized per label tuple (the array
+        tour engine canonicalises the order, so all kernels over one
+        node set share a single build) and must not be mutated.
+
+        Every entry is produced by :func:`repro.geometry.distance.
+        euclidean` — ``math.hypot``, evaluated pairwise in a Python
+        loop, **not** a numpy broadcast. CPython's ``math.hypot`` is a
+        correctly-rounded algorithm that disagrees with ``np.hypot`` in
+        the last ulp on ~0.6% of pairs (measured on this platform), and
+        the array tour engine's byte-parity contract requires the cached
+        scalar value and the matrix entry to be the same float. The
+        build is O(n^2/2) ``hypot`` calls (symmetry halves it), a
+        one-time cost amortised across every kernel call on the set.
+
+        Raises:
+            ValueError: on a depot-less cache (the matrix layout
+                reserves the last index for the depot).
+        """
+        if self._depot is None:
+            raise ValueError(
+                "dense_matrix requires a depot-carrying DistanceCache"
+            )
+        key = tuple(labels)
+        cached = self._dense.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        points = [self.position_of(label) for label in key]
+        points.append(self._depot)
+        size = len(points)
+        matrix = np.zeros((size, size), dtype=np.float64)
+        hypot = euclidean
+        for i in range(size - 1):
+            origin = points[i]
+            matrix[i, i + 1 :] = [
+                hypot(origin, other) for other in points[i + 1 :]
+            ]
+        matrix += matrix.T
+        matrix.flags.writeable = False
+        self._dense[key] = matrix
+        return matrix
+
+    def seed_dense(
+        self, labels: Sequence[Hashable], matrix: np.ndarray
+    ) -> None:
+        """Install a precomputed dense matrix for ``labels``.
+
+        Used when restoring pipeline context snapshots in worker
+        processes: the matrix was built by :meth:`dense_matrix` in
+        another process (entries are ``math.hypot`` floats, so any two
+        builds over the same labels are byte-identical) and shipping it
+        skips the O(n^2) rebuild. The array is frozen (pickling drops
+        the read-only flag) and kept by reference; a matrix already
+        cached for the label tuple wins — seeding is a no-op then.
+
+        Raises:
+            ValueError: on a depot-less cache, or when the matrix shape
+                does not match ``labels`` plus the depot row/column.
+        """
+        if self._depot is None:
+            raise ValueError(
+                "seed_dense requires a depot-carrying DistanceCache"
+            )
+        key = tuple(labels)
+        expect = len(key) + 1
+        if matrix.shape != (expect, expect):
+            raise ValueError(
+                f"dense matrix shape {matrix.shape} does not match "
+                f"{len(key)} labels plus the depot"
+            )
+        if key in self._dense:
+            return
+        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix.flags.writeable = False
+        self._dense[key] = matrix
 
     def __len__(self) -> int:
         """Number of stored (directed) pair entries."""

@@ -28,10 +28,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.energy.charging import ChargerSpec
 from repro.network.topology import WRSN
 from repro.pipeline.context import PlanningContext
+from repro.tours.arrays import NodeIndexCodec
 
 #: (nodes in insertion order, edges as (u, v, attrs) in insertion
 #: order) — enough to rebuild a graph with identical iteration order.
@@ -76,6 +78,13 @@ class ContextSnapshot:
     minmax: Dict[Any, Tuple[List[List[int]], float]] = field(
         default_factory=dict
     )
+    #: Canonical label tuples whose index codecs were memoized; codecs
+    #: are derived data, so only the keys ship and restore rebuilds.
+    codecs: Tuple[Tuple[int, ...], ...] = ()
+    #: Dense distance matrices per canonical label tuple (ndarrays —
+    #: picklable, immutable, and byte-identical to a worker-side
+    #: rebuild, so shipping them only skips the O(n^2) hypot pass).
+    dense: Dict[Tuple[int, ...], np.ndarray] = field(default_factory=dict)
 
 
 def snapshot_context(context: PlanningContext) -> ContextSnapshot:
@@ -102,6 +111,8 @@ def snapshot_context(context: PlanningContext) -> ContextSnapshot:
             k: ([list(t) for t in tours], delay)
             for k, (tours, delay) in context._minmax.items()
         },
+        codecs=tuple(context._codecs.keys()),
+        dense=dict(context._dense_matrices),
     )
 
 
@@ -147,6 +158,15 @@ def restore_context(
             for k, (tours, delay) in snapshot.minmax.items()
         }
     )
+    for key in snapshot.codecs:
+        context._codecs.setdefault(key, NodeIndexCodec(key))
+    for key, matrix in snapshot.dense.items():
+        # Seed the shared cache first: it freezes the unpickled array
+        # and is where the array kernels will actually look it up.
+        context.distance.seed_dense(key, matrix)
+        context._dense_matrices.setdefault(
+            key, context.distance.dense_matrix(key)
+        )
     return context
 
 

@@ -10,8 +10,20 @@
 * :mod:`repro.tours.kminmax` — the ``K``-optimal closed tour solver
   (Definition 2) used as Algorithm 1's subroutine; our implementation
   of the Liang et al. constant-factor approximation.
+* :mod:`repro.tours.arrays` — the array tour engine (DESIGN §16):
+  index-space tours over dense distance matrices with vectorised,
+  byte-parity 2-opt / Or-opt / splitting kernels.
 """
 
+from repro.tours.arrays import (
+    ArrayDistance,
+    ArrayTour,
+    NodeIndexCodec,
+    TourPlan,
+    arrays_enabled,
+    dense_backend,
+    use_arrays,
+)
 from repro.tours.energy_budget import (
     MCVEnergyModel,
     minimum_chargers_energy_constrained,
@@ -37,10 +49,17 @@ from repro.tours.tsp import (
 )
 
 __all__ = [
+    "ArrayDistance",
+    "ArrayTour",
     "MCVEnergyModel",
     "MinChargersResult",
+    "NodeIndexCodec",
     "Tour",
+    "TourPlan",
+    "arrays_enabled",
     "build_tsp_order",
+    "dense_backend",
+    "use_arrays",
     "christofides_tour",
     "double_mst_tour",
     "exact_k_minmax",

@@ -27,6 +27,7 @@ from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
+from repro.tours.arrays import split_dual_ranges, tour_legs
 from repro.tours.splitting import segment_cost
 from repro.tours.tsp import build_tsp_order
 from repro.tours.improve import or_opt, two_opt
@@ -198,6 +199,23 @@ def split_tour_energy_constrained(
         return [[] for _ in range(num_tours)], 0.0
     if dist is None:
         dist = DistanceCache(positions, depot)
+    legs = tour_legs(dist, order, service)
+    if legs is not None:
+        # The legacy drain expression groups as (rate / eff) * seconds;
+        # pre-dividing once keeps the product byte-identical.
+        ranges, achieved = split_dual_ranges(
+            legs,
+            num_tours,
+            speed_mps,
+            model.travel_j_per_m,
+            model.charge_rate_w / model.transfer_efficiency,
+            model.battery_j,
+        )
+        if ranges is None:
+            return None, achieved
+        padded = [order[s:e] for s, e in ranges]
+        padded.extend([] for _ in range(num_tours - len(padded)))
+        return padded, achieved
 
     low = max(
         segment_cost([node], positions, depot, speed_mps, service, dist)
@@ -217,8 +235,9 @@ def split_tour_energy_constrained(
     best = feasible(high)
     if best is None:
         return None, math.inf
-    if feasible(low) is not None:
-        best = feasible(low)
+    low_split = feasible(low)
+    if low_split is not None:
+        best = low_split
     else:
         for _ in range(100):
             if high - low <= 1e-9 * max(high, 1.0):

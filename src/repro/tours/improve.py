@@ -12,6 +12,7 @@ from typing import Callable, Hashable, List, Mapping, Optional, Sequence
 
 from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
+from repro.tours.arrays import dense_backend, or_opt_indices, two_opt_indices
 
 #: Pairwise distance lookup over node labels; ``None`` means the depot.
 DistanceFn = Callable[[Hashable, Hashable], float]
@@ -55,6 +56,16 @@ def two_opt(
     if n < 3:
         return current
     dist = _dist_fn(positions, depot, dist)
+    backend = dense_backend(dist, current)
+    if backend is not None:
+        improved = two_opt_indices(
+            backend.matrix,
+            backend.codec.depot_index,
+            backend.codec.encode(current),
+            max_rounds=max_rounds,
+            min_gain=min_gain,
+        )
+        return backend.codec.decode(improved)
     # Treat the cycle as depot(None), v0, ..., v_{n-1}, depot(None).
     for _ in range(max_rounds):
         improved = False
@@ -88,6 +99,18 @@ def or_opt(
     """
     current = list(order)
     dist = _dist_fn(positions, depot, dist)
+    if len(current) > 1:
+        backend = dense_backend(dist, current)
+        if backend is not None:
+            moved = or_opt_indices(
+                backend.matrix,
+                backend.codec.depot_index,
+                backend.codec.encode(current),
+                segment_lengths=segment_lengths,
+                max_rounds=max_rounds,
+                min_gain=min_gain,
+            )
+            return backend.codec.decode(moved)
     for _ in range(max_rounds):
         improved = False
         for seg_len in segment_lengths:

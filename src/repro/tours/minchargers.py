@@ -21,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Mapping, Optional, Sequence
 
+from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
 from repro.tours.kminmax import solve_k_minmax_tours
-from repro.tours.splitting import segment_cost
+from repro.tours.splitting import DistanceFn, segment_cost
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,7 @@ def minimum_chargers_for_bound(
     service: Callable[[Hashable], float],
     max_chargers: int = 64,
     tsp_method: str = "christofides",
+    dist: Optional[DistanceFn] = None,
 ) -> MinChargersResult:
     """Fewest chargers whose min-max tours fit within ``delay_bound_s``.
 
@@ -69,6 +71,9 @@ def minimum_chargers_for_bound(
             meet the budget (e.g. one node's round trip alone exceeds
             it), the result is infeasible.
         tsp_method: backbone construction.
+        dist: optional shared distance lookup (``None`` label = depot);
+            one cache is created for the whole search when omitted —
+            previously every probe of the ``K`` search rebuilt its own.
 
     Returns:
         A :class:`MinChargersResult`.
@@ -85,11 +90,13 @@ def minimum_chargers_for_bound(
         return MinChargersResult(
             num_chargers=0, achieved_delay_s=0.0, tours=[]
         )
+    if dist is None:
+        dist = DistanceCache(positions, depot)
 
     # Quick infeasibility test: a single node whose round trip plus
     # service exceeds the budget can never be served, by any fleet.
     worst_single = max(
-        segment_cost([n], positions, depot, speed_mps, service)
+        segment_cost([n], positions, depot, speed_mps, service, dist)
         for n in node_list
     )
     if worst_single > delay_bound_s:
@@ -100,7 +107,7 @@ def minimum_chargers_for_bound(
     def attempt(k: int):
         return solve_k_minmax_tours(
             node_list, positions, depot, k, speed_mps, service,
-            tsp_method=tsp_method,
+            tsp_method=tsp_method, dist=dist,
         )
 
     # Exponential ramp-up to find an upper bound, then binary search.

@@ -26,6 +26,11 @@ from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
+from repro.tours.arrays import (
+    greedy_split_cuts,
+    split_min_max_ranges,
+    tour_legs,
+)
 
 #: Relative tolerance at which the binary search over ``B`` stops.
 _BINARY_SEARCH_REL_TOL = 1e-9
@@ -72,6 +77,18 @@ def greedy_split_with_bound(
     """
     if dist is None:
         dist = DistanceCache(positions, depot)
+    legs = tour_legs(dist, order, service)
+    if legs is not None:
+        cuts = greedy_split_cuts(legs, bound, speed_mps)
+        if cuts is None:
+            return None
+        order = list(order)
+        bounds = [0, *cuts, len(order)]
+        return [
+            order[bounds[k] : bounds[k + 1]]
+            for k in range(len(bounds) - 1)
+            if bounds[k] < bounds[k + 1]
+        ]
     segments: List[List[Hashable]] = []
     current: List[Hashable] = []
     # Cost of the current segment *without* the return-to-depot leg.
@@ -128,6 +145,12 @@ def split_tour_min_max(
         return [[] for _ in range(num_tours)], 0.0
     if dist is None:
         dist = DistanceCache(positions, depot)
+    legs = tour_legs(dist, order, service)
+    if legs is not None:
+        ranges, achieved = split_min_max_ranges(legs, num_tours, speed_mps)
+        padded = [order[s:e] for s, e in ranges]
+        padded.extend([] for _ in range(num_tours - len(padded)))
+        return padded, achieved
 
     def max_cost(segments: Sequence[Sequence[Hashable]]) -> float:
         return max(
@@ -158,8 +181,9 @@ def split_tour_min_max(
 
     best = feasible(high)
     assert best is not None, "the full tour must fit in one segment"
-    if feasible(low) is not None:
-        best = feasible(low)
+    low_split = feasible(low)
+    if low_split is not None:
+        best = low_split
     else:
         for _ in range(_BINARY_SEARCH_MAX_ITER):
             if high - low <= _BINARY_SEARCH_REL_TOL * max(high, 1.0):

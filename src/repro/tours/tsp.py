@@ -25,6 +25,11 @@ import networkx as nx
 
 from repro.geometry.distcache import DistanceCache
 from repro.geometry.point import PointLike
+from repro.tours.arrays import (
+    dense_backend,
+    greedy_edge_indices,
+    nearest_neighbor_indices,
+)
 
 #: Sentinel id for the depot inside TSP constructions. Sensor ids are
 #: non-negative integers, so the sentinel can never collide.
@@ -250,6 +255,18 @@ def build_tsp_order(
         return node_list
     pos: Dict[Hashable, PointLike] = {n: positions[n] for n in node_list}
     pos[DEPOT] = depot
+    if method in ("nearest_neighbor", "greedy_edge"):
+        # Array fast path: the codec's index space (real nodes in
+        # positional order, depot last) coincides with the legacy
+        # ``node_list + [DEPOT]`` enumeration, so edge tie-breaks and
+        # nearest-neighbour scans resolve to the identical tour.
+        backend = dense_backend(dist, node_list)
+        if backend is not None:
+            kernel = {
+                "nearest_neighbor": nearest_neighbor_indices,
+                "greedy_edge": greedy_edge_indices,
+            }[method]
+            return backend.codec.decode(kernel(backend))
     inner = None if dist is None else _translate_depot(dist)
     builder = {
         "nearest_neighbor": nearest_neighbor_tour,

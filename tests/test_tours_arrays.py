@@ -1,0 +1,307 @@
+"""Parity and unit tests for the array tour engine (DESIGN §16).
+
+The engine's contract is *byte parity*: with a dense backend available,
+every rewired tours function must return exactly what the legacy scalar
+path returns — same orders, same split segments, same achieved-delay
+floats. The legacy paths stay in the codebase as the oracle (reached
+via ``use_arrays(False)``), mirroring how ``tests/_legacy_conflicts.py``
+pins the conflict engine.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.geometry.distcache import DistanceCache
+from repro.network.topology import random_wrsn
+from repro.pipeline.planner import planner_names, run_planner
+from repro.tours.arrays import (
+    DENSE_MAX_NODES,
+    ArrayDistance,
+    ArrayTour,
+    NodeIndexCodec,
+    canonical_labels,
+    dense_backend,
+    use_arrays,
+)
+from repro.tours.energy_budget import (
+    MCVEnergyModel,
+    split_tour_energy_constrained,
+)
+from repro.tours.improve import or_opt, two_opt
+from repro.tours.kminmax import solve_k_minmax_tours
+from repro.tours.splitting import greedy_split_with_bound, split_tour_min_max
+from repro.tours.tsp import build_tsp_order
+
+PARITY_SEEDS = 100
+
+
+def random_instance(seed, max_nodes=40, min_nodes=2):
+    """One random labelled instance: positions, depot, service, cache."""
+    rng = random.Random(seed)
+    n = rng.randint(min_nodes, max_nodes)
+    positions = {
+        i: (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0))
+        for i in range(n)
+    }
+    depot = (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0))
+    service_map = {i: rng.uniform(1.0, 300.0) for i in range(n)}
+    order = list(range(n))
+    rng.shuffle(order)
+    dist = DistanceCache(positions, depot)
+    return rng, order, positions, depot, service_map, dist
+
+
+class TestNodeIndexCodec:
+    def test_round_trip(self):
+        codec = NodeIndexCodec([7, 3, 11])
+        idx = codec.encode([11, 7, 3])
+        assert idx.dtype == np.int32
+        assert codec.decode(idx) == [11, 7, 3]
+        assert codec.depot_index == 3
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            NodeIndexCodec([1, 2, 1])
+
+    def test_canonical_labels_sorts(self):
+        assert canonical_labels([3, 1, 2]) == (1, 2, 3)
+
+
+class TestDenseMatrix:
+    def test_entries_match_scalar_cache(self):
+        _, order, positions, depot, _, dist = random_instance(1)
+        matrix = dist.dense_matrix(canonical_labels(order))
+        labels = list(canonical_labels(order))
+        for i, a in enumerate(labels):
+            for j, b in enumerate(labels):
+                assert matrix[i, j] == dist(a, b)
+            assert matrix[i, len(labels)] == dist(a, None)
+        assert not matrix.flags.writeable
+
+    def test_memoized_per_label_tuple(self):
+        _, order, _, _, _, dist = random_instance(2)
+        key = canonical_labels(order)
+        assert dist.dense_matrix(key) is dist.dense_matrix(key)
+
+    def test_requires_depot(self):
+        positions = {1: (0.0, 0.0), 2: (1.0, 0.0)}
+        with pytest.raises(ValueError):
+            DistanceCache(positions).dense_matrix((1, 2))
+
+    def test_seed_dense_shape_checked(self):
+        _, _, positions, depot, _, dist = random_instance(3)
+        with pytest.raises(ValueError):
+            dist.seed_dense((1, 2), np.zeros((2, 2)))
+
+    def test_seed_dense_freezes_and_serves(self):
+        _, order, positions, depot, _, dist = random_instance(4)
+        key = canonical_labels(order)
+        built = dist.dense_matrix(key)
+        fresh = DistanceCache(positions, depot)
+        fresh.seed_dense(key, np.array(built))  # writeable copy
+        served = fresh.dense_matrix(key)
+        assert not served.flags.writeable
+        np.testing.assert_array_equal(served, built)
+
+
+class TestDenseBackend:
+    def test_gating(self):
+        _, order, positions, depot, _, dist = random_instance(5)
+        assert dense_backend(dist, order) is not None
+        # Disabled engine, plain-callable dist, depot-less cache,
+        # oversized label set, duplicate labels: all legacy.
+        with use_arrays(False):
+            assert dense_backend(dist, order) is None
+        assert dense_backend(lambda a, b: 0.0, order) is None
+        assert dense_backend(DistanceCache(positions), order) is None
+        assert dense_backend(dist, range(DENSE_MAX_NODES + 1)) is None
+        assert dense_backend(dist, [order[0], order[0]]) is None
+
+    def test_permuted_orders_share_one_matrix(self):
+        _, order, _, _, _, dist = random_instance(6)
+        a = dense_backend(dist, order)
+        b = dense_backend(dist, sorted(order))
+        for x in order:
+            for y in order:
+                ia, ja = a.codec.encode([x])[0], a.codec.encode([y])[0]
+                ib, jb = b.codec.encode([x])[0], b.codec.encode([y])[0]
+                assert a.matrix[ia, ja] == b.matrix[ib, jb]
+
+
+class TestArrayTour:
+    def test_prefixes_and_delay(self):
+        _, order, positions, depot, service_map, dist = random_instance(7)
+        dense = ArrayDistance.from_cache(dist, sorted(order))
+        tour = ArrayTour.from_labels(dense, order, service_map.__getitem__)
+        assert tour.labels() == order
+
+        travel = dist(None, order[0])
+        for a, b in zip(order, order[1:]):
+            travel += dist(a, b)
+        assert tour.travel_prefix_m[-1] == pytest.approx(travel)
+        travel += dist(order[-1], None)
+        assert tour.travel_length_m() == pytest.approx(travel)
+        assert tour.delay_s(2.0) == pytest.approx(
+            travel / 2.0 + sum(service_map[v] for v in order)
+        )
+
+    def test_empty_tour(self):
+        _, order, _, _, service_map, dist = random_instance(8)
+        dense = ArrayDistance.from_cache(dist, sorted(order))
+        tour = ArrayTour.from_labels(dense, [], service_map.__getitem__)
+        assert tour.travel_length_m() == 0.0
+        assert tour.delay_s(1.0) == 0.0
+
+
+class TestKernelParity:
+    """Array kernels vs the legacy scalar oracle, 100 random seeds."""
+
+    @pytest.mark.parametrize("seed", range(PARITY_SEEDS))
+    def test_two_opt_and_or_opt(self, seed):
+        _, order, positions, depot, _, dist = random_instance(seed)
+        with use_arrays(False):
+            legacy = two_opt(order, positions, depot, dist=dist)
+            legacy = or_opt(legacy, positions, depot, dist=dist)
+        fast = two_opt(order, positions, depot, dist=dist)
+        fast = or_opt(fast, positions, depot, dist=dist)
+        assert fast == legacy
+
+    @pytest.mark.parametrize("seed", range(PARITY_SEEDS))
+    def test_split_min_max(self, seed):
+        rng, order, positions, depot, service_map, dist = random_instance(
+            seed
+        )
+        k = rng.randint(1, 4)
+        speed = rng.uniform(0.5, 3.0)
+        service = service_map.__getitem__
+        with use_arrays(False):
+            legacy = split_tour_min_max(
+                order, k, positions, depot, speed, service, dist=dist
+            )
+        fast = split_tour_min_max(
+            order, k, positions, depot, speed, service, dist=dist
+        )
+        assert fast == legacy
+
+    @pytest.mark.parametrize("seed", range(PARITY_SEEDS))
+    def test_greedy_split_with_bound(self, seed):
+        rng, order, positions, depot, service_map, dist = random_instance(
+            seed
+        )
+        speed = rng.uniform(0.5, 3.0)
+        service = service_map.__getitem__
+        # A bound between the single-node floor and the full-tour cost
+        # exercises both feasible and infeasible outcomes.
+        bound = rng.uniform(50.0, 2000.0)
+        with use_arrays(False):
+            legacy = greedy_split_with_bound(
+                order, bound, positions, depot, speed, service, dist=dist
+            )
+        fast = greedy_split_with_bound(
+            order, bound, positions, depot, speed, service, dist=dist
+        )
+        assert fast == legacy
+
+    @pytest.mark.parametrize("seed", range(PARITY_SEEDS))
+    def test_split_energy_constrained(self, seed):
+        rng, order, positions, depot, service_map, dist = random_instance(
+            seed, max_nodes=25
+        )
+        k = rng.randint(1, 4)
+        speed = rng.uniform(0.5, 3.0)
+        service = service_map.__getitem__
+        model = MCVEnergyModel(
+            battery_j=rng.uniform(5e3, 5e5),
+            travel_j_per_m=rng.uniform(1.0, 20.0),
+            transfer_efficiency=rng.uniform(0.3, 1.0),
+        )
+        with use_arrays(False):
+            legacy = split_tour_energy_constrained(
+                order, k, positions, depot, speed, service, model,
+                dist=dist,
+            )
+        fast = split_tour_energy_constrained(
+            order, k, positions, depot, speed, service, model, dist=dist
+        )
+        assert fast == legacy
+
+    @pytest.mark.parametrize("seed", range(PARITY_SEEDS))
+    def test_tsp_constructions(self, seed):
+        _, order, positions, depot, _, dist = random_instance(
+            seed, max_nodes=30
+        )
+        for method in ("nearest_neighbor", "greedy_edge"):
+            with use_arrays(False):
+                legacy = build_tsp_order(
+                    order, positions, depot, method=method, dist=dist
+                )
+            fast = build_tsp_order(
+                order, positions, depot, method=method, dist=dist
+            )
+            assert fast == legacy, method
+
+    @pytest.mark.parametrize("seed", range(0, PARITY_SEEDS, 10))
+    def test_solve_k_minmax_end_to_end(self, seed):
+        rng, order, positions, depot, service_map, dist = random_instance(
+            seed
+        )
+        k = rng.randint(1, 3)
+        speed = rng.uniform(0.5, 3.0)
+        service = service_map.__getitem__
+        for method in ("nearest_neighbor", "greedy_edge", "christofides"):
+            with use_arrays(False):
+                legacy = solve_k_minmax_tours(
+                    order, positions, depot, k, speed, service,
+                    tsp_method=method, dist=dist,
+                )
+            fast = solve_k_minmax_tours(
+                order, positions, depot, k, speed, service,
+                tsp_method=method, dist=dist,
+            )
+            assert fast == legacy, method
+
+
+class TestPlannerParity:
+    """All registered planners over the 100-seed corpus.
+
+    Each seed draws a fresh network; ``K`` rotates through {1, 2, 3}
+    so the corpus covers every fleet size with every planner. The
+    objective and the per-tour delays must be byte-identical between
+    the array engine and the legacy scalar paths.
+    """
+
+    @pytest.mark.parametrize("seed", range(PARITY_SEEDS))
+    def test_all_planners(self, seed):
+        k = seed % 3 + 1
+        network = random_wrsn(18, seed=seed, initial_fraction=0.15)
+        requests = network.all_sensor_ids()[: 12 + seed % 5]
+        for name in planner_names():
+            with use_arrays(False):
+                legacy = run_planner(name, network, requests, k)
+            fast = run_planner(name, network, requests, k)
+            assert fast.longest_delay() == legacy.longest_delay(), name
+            assert fast.tour_delays() == legacy.tour_delays(), name
+
+
+class TestUseArraysToggle:
+    def test_nested_and_restoring(self):
+        from repro.tours.arrays import arrays_enabled
+
+        assert arrays_enabled()
+        with use_arrays(False):
+            assert not arrays_enabled()
+            with use_arrays(True):
+                assert arrays_enabled()
+            assert not arrays_enabled()
+        assert arrays_enabled()
+
+    def test_restores_on_exception(self):
+        from repro.tours.arrays import arrays_enabled
+
+        with pytest.raises(RuntimeError):
+            with use_arrays(False):
+                raise RuntimeError("boom")
+        assert arrays_enabled()
