@@ -18,6 +18,9 @@
 * :mod:`repro.bench.asymptotics` — the array tour engine asymptotics
   campaign (2k/5k/10k sensors): vectorised kernels vs the legacy
   scalar paths, parity-checked before timing.
+* :mod:`repro.bench.online` — the online-replanning campaign: delta
+  invalidation (``PlanningContext.invalidate``) vs a cold context
+  rebuild, parity-checked every round.
 """
 
 from repro.bench.asymptotics import (
@@ -44,6 +47,11 @@ from repro.bench.loadgen import (
     percentile,
     run_load,
 )
+from repro.bench.online import (
+    format_online,
+    run_online_bench,
+    state_speedup,
+)
 from repro.bench.record import (
     BENCH_FORMAT,
     bench_record,
@@ -69,6 +77,7 @@ __all__ = [
     "fig4_data_rate",
     "fig5_num_chargers",
     "format_asymptotics",
+    "format_online",
     "format_series_table",
     "loadgen_record",
     "make_corpus",
@@ -79,6 +88,8 @@ __all__ = [
     "run_asymptotics",
     "run_fault_campaign",
     "run_load",
+    "run_online_bench",
+    "state_speedup",
     "synthetic_instance",
     "run_sweep",
     "series_to_rows",

@@ -1,0 +1,280 @@
+"""Online-replanning micro-benchmark (DESIGN §17).
+
+Measures what the event-driven online path actually buys from
+:meth:`repro.pipeline.PlanningContext.invalidate`: when a mid-round
+arrival changes ~⅓ of the outstanding residuals, restoring the
+residual-dependent planning state (Eq.(1) charge times, coverage,
+sensor→stop groups, the conflict-free core) through delta invalidation
+versus rebuilding a cold context from scratch.
+
+Each campaign round perturbs the instance once and times both paths on
+identical state:
+
+* ``invalidate_warm_s`` — ``ctx.invalidate(changed)`` on the
+  persistent context, then a probe of every residual-dependent memo;
+* ``rebuild_cold_s`` — a fresh ``PlanningContext`` (private distance
+  cache, so nothing leaks in) plus the same probe.
+
+The probes' results are compared after each timed pair and the round's
+end-to-end replans are byte-compared through the parity-key codec; any
+mismatch raises :class:`ParityError` before a record is produced — the
+campaign never reports timings for two computations that disagree.
+The headline derived ratio is ``state_speedup`` with a documented
+floor of :data:`SPEEDUP_FLOOR` (the committed ``BENCH_online.json``
+must show at least this). The end-to-end ``replan_speedup`` is
+reported as a secondary, floorless metric: a full replan also pays the
+planner's irreducible insertion and min-max work, which both paths
+share.
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median as _median
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.record import bench_record
+from repro.io import dump_jsonl_line, schedule_to_dict
+from repro.network.topology import WRSN, random_wrsn
+from repro.pipeline import PlanningContext, run_planner
+
+#: Default instance size. Large enough that the cold rebuild's
+#: geometry + Eq.(1) passes dominate, small enough for CI.
+DEFAULT_NUM_SENSORS = 400
+
+#: Perturbation rounds per campaign (= timing samples per metric).
+DEFAULT_ROUNDS = 5
+
+#: Probability that a given sensor's residual changes in a round —
+#: the mid-round arrival burst the online simulator batches.
+CHANGED_FRACTION = 1.0 / 3.0
+
+#: Documented lower bound on ``state_speedup``; the committed
+#: ``BENCH_online.json`` must show at least this (acceptance
+#: criterion).
+SPEEDUP_FLOOR = 3.0
+
+
+class ParityError(AssertionError):
+    """Warm and cold paths disagreed — the campaign must not report
+    timings for two computations that are not identical."""
+
+
+def make_instance(num_sensors: int, seed: int) -> WRSN:
+    """A seeded instance with every sensor depleted to 5–20%."""
+    net = random_wrsn(num_sensors=num_sensors, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    net.set_residuals(
+        {
+            sid: float(rng.uniform(0.05, 0.2))
+            * net.sensor(sid).capacity_j
+            for sid in net.all_sensor_ids()
+        }
+    )
+    return net
+
+
+def probe_state(ctx: PlanningContext) -> Tuple:
+    """Force every residual-dependent memo and return a comparable
+    snapshot of the planning state it produced."""
+    ids = list(ctx.requests)
+    times = ctx.charge_times_for(ids)
+    candidates = ctx.sojourn_candidates()
+    coverage = ctx.coverage_for(candidates)
+    groups = ctx.sensor_stop_groups(candidates)
+    core = ctx.conflict_free_core()
+    return (
+        [times[sid] for sid in ids],
+        list(candidates),
+        [sorted(coverage[c]) for c in candidates],
+        {s: list(groups[s]) for s in sorted(groups)},
+        list(core),
+    )
+
+
+def _parity_bytes(planned, planner: str) -> bytes:
+    return dump_jsonl_line(schedule_to_dict(planned, algorithm=planner))
+
+
+def run_online_bench(
+    num_sensors: int = DEFAULT_NUM_SENSORS,
+    rounds: int = DEFAULT_ROUNDS,
+    num_chargers: int = 2,
+    planner: str = "Appro",
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the campaign and return one ``repro-bench/1`` record.
+
+    Args:
+        num_sensors: instance size.
+        rounds: perturbation rounds; each yields one timing sample per
+            metric (equal counts — a record-format requirement).
+        num_chargers: ``K`` for the end-to-end replans.
+        planner: registered planner for the end-to-end replans.
+        seed: instance + perturbation generator seed.
+        progress: optional line sink for campaign progress.
+
+    Raises:
+        ParityError: when the warm path disagrees with the cold
+            rebuild on any round — no record is produced past that.
+        ValueError: on non-positive ``rounds`` or ``num_sensors``.
+    """
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive: {rounds}")
+    if num_sensors <= 0:
+        raise ValueError(f"num_sensors must be positive: {num_sensors}")
+    say = progress if progress is not None else (lambda line: None)
+
+    net = make_instance(num_sensors, seed)
+    ids = net.all_sensor_ids()
+    rng = np.random.default_rng(seed + 2)
+
+    # Steady state of a running service: one persistent context with
+    # every memo (and one full plan) already in place.
+    say(f"n={num_sensors}: warming the persistent context")
+    warm_ctx = PlanningContext(net, ids, share_distances=False)
+    probe_state(warm_ctx)
+    run_planner(planner, net, ids, num_chargers, context=warm_ctx)
+
+    metrics: Dict[str, List[float]] = {
+        "invalidate_warm_s": [],
+        "rebuild_cold_s": [],
+        "replan_warm_s": [],
+        "replan_cold_s": [],
+    }
+    changed_counts: List[int] = []
+
+    for round_index in range(rounds):
+        changed = [
+            sid for sid in ids if rng.random() < CHANGED_FRACTION
+        ] or [ids[0]]
+        net.set_residuals(
+            {
+                sid: float(rng.uniform(0.05, 0.2))
+                * net.sensor(sid).capacity_j
+                for sid in changed
+            }
+        )
+        changed_counts.append(len(changed))
+        say(
+            f"round {round_index + 1}/{rounds}: "
+            f"{len(changed)} residuals changed"
+        )
+
+        t0 = time.perf_counter()
+        warm_ctx.invalidate(changed)
+        warm_state = probe_state(warm_ctx)
+        metrics["invalidate_warm_s"].append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        cold_ctx = PlanningContext(net, ids, share_distances=False)
+        cold_state = probe_state(cold_ctx)
+        metrics["rebuild_cold_s"].append(time.perf_counter() - t0)
+
+        if warm_state != cold_state:
+            raise ParityError(
+                f"round {round_index}: delta-invalidated planning "
+                f"state diverged from the cold rebuild "
+                f"({len(changed)} changed sensors)"
+            )
+
+        t0 = time.perf_counter()
+        warm_plan = run_planner(
+            planner, net, ids, num_chargers, context=warm_ctx
+        )
+        metrics["replan_warm_s"].append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        cold_plan = run_planner(
+            planner,
+            net,
+            ids,
+            num_chargers,
+            context=PlanningContext(net, ids, share_distances=False),
+        )
+        metrics["replan_cold_s"].append(time.perf_counter() - t0)
+
+        if _parity_bytes(warm_plan, planner) != _parity_bytes(
+            cold_plan, planner
+        ):
+            raise ParityError(
+                f"round {round_index}: warm replan is not "
+                f"byte-identical to the cold rebuild's"
+            )
+
+    derived = {
+        "state_speedup": (
+            _median(metrics["rebuild_cold_s"])
+            / _median(metrics["invalidate_warm_s"])
+        ),
+        "replan_speedup": (
+            _median(metrics["replan_cold_s"])
+            / _median(metrics["replan_warm_s"])
+        ),
+        "changed_mean": sum(changed_counts) / len(changed_counts),
+    }
+    return bench_record(
+        benchmark="online-replanning",
+        params={
+            "num_sensors": num_sensors,
+            "num_chargers": num_chargers,
+            "planner": planner,
+            "seed": seed,
+            "changed_fraction": CHANGED_FRACTION,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        metrics=metrics,
+        derived=derived,
+    )
+
+
+def state_speedup(record: Dict) -> Optional[float]:
+    """The headline ratio of a campaign record, if present."""
+    value = record.get("derived", {}).get("state_speedup")
+    return None if value is None else float(value)
+
+
+def format_online(record: Dict) -> str:
+    """Human-readable summary table of one campaign record."""
+    lines = [
+        f"online replanning campaign "
+        f"(n={record['params']['num_sensors']}, "
+        f"K={record['params']['num_chargers']}, "
+        f"planner={record['params']['planner']}, "
+        f"{record['repeats']} rounds)",
+        f"{'metric':<22} {'median s':>12} {'min s':>12} {'max s':>12}",
+    ]
+    for name in sorted(record["metrics"]):
+        m = record["metrics"][name]
+        lines.append(
+            f"{name:<22} {m['median']:>12.4f} {m['min']:>12.4f} "
+            f"{m['max']:>12.4f}"
+        )
+    lines.append("derived:")
+    for name in sorted(record["derived"]):
+        lines.append(f"  {name:<20} {record['derived'][name]:.3f}")
+    headline = state_speedup(record)
+    if headline is not None:
+        floor = record["params"].get("speedup_floor", SPEEDUP_FLOOR)
+        verdict = "meets" if headline >= floor else "BELOW"
+        lines.append(
+            f"state speedup {headline:.1f}x — {verdict} the "
+            f"documented {floor:.0f}x floor"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CHANGED_FRACTION",
+    "DEFAULT_NUM_SENSORS",
+    "DEFAULT_ROUNDS",
+    "ParityError",
+    "format_online",
+    "make_instance",
+    "probe_state",
+    "run_online_bench",
+    "state_speedup",
+]

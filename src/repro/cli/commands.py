@@ -104,9 +104,24 @@ def cmd_simulate(args) -> int:
     horizon_s = args.days * 86400.0
     t0 = time.time()
     if args.algorithm == "Appro-Online":
-        sim = OnlineMonitoringSimulation(
-            net, num_chargers=args.num_chargers, horizon_s=horizon_s
+        deadline_s = (
+            args.deadline_hours * 3600.0
+            if args.deadline_hours is not None
+            else None
         )
+        sim = OnlineMonitoringSimulation(
+            net,
+            num_chargers=args.num_chargers,
+            horizon_s=horizon_s,
+            deadline_s=deadline_s,
+            audit=args.audit,
+        )
+    elif args.deadline_hours is not None or args.audit:
+        print(
+            "simulate: --deadline-hours / --audit require "
+            "-a Appro-Online"
+        )
+        return 2
     else:
         sim = MonitoringSimulation(
             net,
@@ -127,7 +142,19 @@ def cmd_simulate(args) -> int:
           f"{metrics.avg_dead_time_per_sensor_minutes:.1f} min")
     print(f"sensors ever dead          : "
           f"{metrics.num_sensors_ever_dead}/{metrics.num_sensors}")
+    if metrics.deadline_total > 0:
+        print(f"deadline requests          : {metrics.deadline_total}")
+        print(f"deadline miss ratio        : "
+              f"{metrics.deadline_miss_ratio:.3f} "
+              f"({metrics.deadline_misses} missed, "
+              f"{metrics.deadline_dropped} deferred)")
     print(f"simulated in               : {elapsed:.1f} s")
+    if args.audit:
+        violations = sim.audit_overlap_violations
+        print(f"simultaneous-charge audit  : "
+              f"{len(violations)} violations")
+        if violations:
+            return 1
     return 0
 
 
@@ -151,13 +178,15 @@ _FIGURES = {
 
 
 def cmd_bench(args) -> int:
-    """Regenerate one paper figure, or run the asymptotics campaign."""
+    """Regenerate one paper figure, or run a micro campaign."""
+    if args.online:
+        return _cmd_bench_online(args)
     if args.asymptotics or args.quick:
         return _cmd_bench_asymptotics(args)
     if args.figure is None:
         print(
-            "bench: a figure is required unless --asymptotics or "
-            "--quick is given"
+            "bench: a figure is required unless --asymptotics, "
+            "--online or --quick is given"
         )
         return 2
     driver, x_label, title = _FIGURES[args.figure]
@@ -222,6 +251,41 @@ def _cmd_bench_asymptotics(args) -> int:
     if args.json:
         write_bench_record(record, args.json)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _cmd_bench_online(args) -> int:
+    """Run the online-replanning campaign (DESIGN §17)."""
+    from repro.bench.online import (
+        DEFAULT_NUM_SENSORS,
+        SPEEDUP_FLOOR,
+        format_online,
+        run_online_bench,
+        state_speedup,
+    )
+    from repro.bench.record import write_bench_record
+
+    if args.quick:
+        num_sensors, rounds = 120, 2
+    else:
+        num_sensors, rounds = DEFAULT_NUM_SENSORS, args.repeats
+    record = run_online_bench(
+        num_sensors=num_sensors,
+        rounds=rounds,
+        seed=args.seed,
+        progress=lambda line: print(f"  .. {line}"),
+    )
+    print()
+    print(format_online(record))
+    if args.json:
+        write_bench_record(record, args.json)
+        print(f"\nwrote {args.json}")
+    headline = state_speedup(record)
+    if not args.quick and headline is not None and (
+        headline < SPEEDUP_FLOOR
+    ):
+        print("FAIL: delta invalidation is below the speedup floor")
+        return 1
     return 0
 
 
@@ -607,6 +671,7 @@ def cmd_sanitize(args) -> int:
             worker_counts=worker_counts,
             plugin=args.plugin,
             daemon_cells=args.daemon,
+            online_cells=args.online,
         )
     else:
         jobs = (
@@ -625,11 +690,14 @@ def cmd_sanitize(args) -> int:
             worker_counts=worker_counts,
             plugin=args.plugin,
             daemon_cells=args.daemon,
+            online_cells=args.online,
         )
 
     for cell in report.cells:
         tag = "baseline" if cell.get("baseline") else "compared"
         mode = " daemon" if cell.get("daemon") else ""
+        if cell.get("online"):
+            mode = f" online-{cell['online']}"
         print(
             f"  PYTHONHASHSEED={cell['hash_seed']} "
             f"workers={cell['workers']}{mode}: {cell['lines']} "

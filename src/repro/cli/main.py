@@ -80,17 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--days", type=float, default=60.0)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--b-max-kbps", type=float, default=50.0)
+    sim.add_argument(
+        "--deadline-hours", type=float, default=None, metavar="H",
+        help="per-request latency budget for the online deadline "
+        "policy (Appro-Online only); reports the miss ratio",
+    )
+    sim.add_argument(
+        "--audit", action="store_true",
+        help="Appro-Online only: sweep the realized timeline for "
+        "cross-tour simultaneous charging; any violation fails the "
+        "run",
+    )
     sim.set_defaults(func=commands.cmd_simulate)
 
     bench = sub.add_parser(
         "bench",
         help="regenerate a paper figure (tables + ASCII plots) or run "
-        "the array tour engine asymptotics campaign",
+        "the asymptotics / online-replanning campaigns",
     )
     bench.add_argument(
         "figure", nargs="?", choices=["fig3", "fig4", "fig5"],
         help="which evaluation figure to regenerate (omit with "
-        "--asymptotics / --quick)",
+        "--asymptotics / --online / --quick)",
     )
     bench.add_argument("--instances", type=int, default=2)
     bench.add_argument("--days", type=float, default=40.0)
@@ -105,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--asymptotics", action="store_true",
         help="time the array tour kernels against the legacy scalar "
         "paths on large synthetic instances (parity-checked)",
+    )
+    bench.add_argument(
+        "--online", action="store_true",
+        help="time delta invalidation (PlanningContext.invalidate) "
+        "against a cold context rebuild under seeded mid-round "
+        "residual perturbations (parity-checked every round)",
     )
     bench.add_argument(
         "--sizes", type=int, nargs="+", metavar="N", default=None,
@@ -378,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--daemon", action="store_true",
         help="also run every matrix cell through the planning daemon "
         "and byte-compare against the batch-service baseline",
+    )
+    san.add_argument(
+        "--online", action="store_true",
+        help="also run cold/warm online-replanning cells per hash "
+        "seed: perturb residuals per job and byte-compare a delta-"
+        "invalidated warm replan against a cold context rebuild",
     )
     san.add_argument(
         "--plugin", default=None,

@@ -114,10 +114,12 @@ def conflicting_pairs(
         schedule: the schedule to check.
         skip_tour: ignore every stop on this tour (repair: the failed
             vehicle's stops are gone or in the feasible past).
-        frozen_before_s: drop pairs in which *both* stops started
-            before this time — they belong to the already-executed
-            prefix, which the pre-fault plan kept feasible; only pairs
-            with at least one delayable stop are actionable.
+        frozen_before_s: drop pairs in which *both* stops started at
+            or before this time — under the closed-interval rule a
+            stop starting exactly at the boundary is already active,
+            so such pairs belong to the already-executed prefix, which
+            the pre-fault plan kept feasible; only pairs with at least
+            one delayable stop are actionable.
         groups: optional pre-built sensor -> candidate-stop index (for
             example :meth:`repro.pipeline.PlanningContext.
             sensor_stop_groups`); it may mention unscheduled candidates
@@ -177,8 +179,8 @@ def conflicting_pairs(
         found = {
             (u, v): overlap
             for (u, v), overlap in found.items()
-            if schedule.stop_interval(u)[0] >= frozen_before_s
-            or schedule.stop_interval(v)[0] >= frozen_before_s
+            if schedule.stop_interval(u)[0] > frozen_before_s
+            or schedule.stop_interval(v)[0] > frozen_before_s
         }
     return [
         (u, v, found[(u, v)])

@@ -157,12 +157,15 @@ def resolve_conflicts_after(
     """Wait-insertion conflict resolution that never touches the past.
 
     Like :func:`repro.core.validation.resolve_conflicts` but respecting
-    a realized prefix: a stop whose charging started before
-    ``frozen_before_s`` is *frozen* — it physically happened (or is
-    happening) and cannot be delayed. Of each conflicting pair, the
-    delayable stop is pushed past the other's finish. Two frozen stops
-    can never conflict (the pre-fault plan was feasible and waits only
-    push intervals later), so progress is always possible.
+    a realized prefix: a stop whose charging started *at or before*
+    ``frozen_before_s`` is *frozen* — under the project-wide
+    closed-interval rule (:data:`repro.core.conflicts.OVERLAP_EPS`) a
+    stop with ``start == frozen_before_s`` is already active at the
+    frozen instant, so it physically happened (or is happening) and
+    cannot be delayed. Of each conflicting pair, the delayable stop is
+    pushed past the other's finish. Two frozen stops can never conflict
+    (the pre-fault plan was feasible and waits only push intervals
+    later), so progress is always possible.
 
     Returns:
         The number of waits inserted.
@@ -195,11 +198,13 @@ def resolve_conflicts_after(
         if (sv, v) < (su, u):
             u, v = v, u
             su, fu, sv, fv = sv, fv, su, fu
-        u_frozen = su < frozen_before_s
-        v_frozen = sv < frozen_before_s
+        # Closed-interval boundary: ``start == frozen_before_s`` means
+        # the stop is active at the frozen instant and must not move.
+        u_frozen = su <= frozen_before_s
+        v_frozen = sv <= frozen_before_s
         if u_frozen and v_frozen:
             raise RuntimeError(
-                f"stops {u} and {v} both started before "
+                f"stops {u} and {v} both started at or before "
                 f"{frozen_before_s:.1f}s and overlap; the pre-fault "
                 f"plan was not feasible"
             )
@@ -229,13 +234,15 @@ def _valid_anchor(
 ) -> bool:
     """An insertion point is physical only if no already-started stop
     would end up downstream of the insertion: the anchor must be the
-    last stop of its tour, or its successor must not have started."""
+    last stop of its tour, or its successor must not have started (a
+    successor starting exactly at the failure time is already active
+    under the closed-interval rule, so it cannot be displaced)."""
     tour = schedule.tours[schedule.tour_of[anchor]]
     idx = tour.index(anchor)
     if idx == len(tour) - 1:
         return True
     successor = tour[idx + 1]
-    return schedule.stop_interval(successor)[0] >= failure_time_s
+    return schedule.stop_interval(successor)[0] > failure_time_s
 
 
 def _choose_anchor(
@@ -315,7 +322,13 @@ def repair_schedule(
         failed_tour=failed_tour, failure_time_s=failure_time_s
     )
     pre_fault_longest = schedule.longest_delay()
-    effective_time = failure_time_s + cfg.notification_delay_s
+    # Reassigned stops must stay delayable: the frozen boundary is
+    # closed (start <= failure time is frozen), so with a zero
+    # notification delay the clamp floor sits one epsilon past it.
+    effective_time = max(
+        failure_time_s + cfg.notification_delay_s,
+        failure_time_s + _OVERLAP_EPS,
+    )
 
     # Partition the failed tour: kept past vs orphaned future.
     orphans: List[int] = []
@@ -324,7 +337,9 @@ def repair_schedule(
         if finish <= failure_time_s:
             outcome.completed.append(node)
         else:
-            if start < failure_time_s:
+            # Closed boundary: charging that began exactly at the
+            # failure instant was cut off mid-charge.
+            if start <= failure_time_s:
                 outcome.interrupted = node
             orphans.append(node)
     for node in orphans:

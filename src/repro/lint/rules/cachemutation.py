@@ -49,6 +49,7 @@ MEMO_FIELDS = frozenset(
         "_dense_matrices",
         "memo_hits",
         "memo_misses",
+        "invalidations",
     }
 )
 

@@ -104,6 +104,7 @@ class PlanningContext:
         )
         self.memo_hits = 0
         self.memo_misses = 0
+        self.invalidations = 0
         self._charge_times: Dict[int, float] = {}
         self._charging_graph: Optional[nx.Graph] = None
         self._grid_index: Optional[GridIndex] = None
@@ -147,6 +148,55 @@ class PlanningContext:
             raise ValueError(
                 "PlanningContext was built for a different ChargerSpec"
             )
+
+    def invalidate(self, sensor_ids: Sequence[int]) -> None:
+        """Delta-invalidate the memos that depend on changed sensors.
+
+        The online simulation mutates residual energies between
+        replans; only the residual-dependent state of the *changed*
+        sensors goes stale. This drops exactly that state — the
+        Eq. (1) charge times of the changed sensors, every memoized
+        coverage set whose disk touches a changed sensor, and every
+        ``sensor_stop_groups`` table that mentions one — and leaves the
+        geometry intact: the distance cache, ``G_c``, the grid index,
+        the MIS / auxiliary-graph / core memos and the dense-matrix
+        backend are all position-derived and survive untouched.
+
+        The ``_minmax`` memo keys embed every service weight, so stale
+        tour solutions key-miss naturally once the changed charge times
+        are recomputed — a warm replan after ``invalidate`` is
+        byte-identical to a cold context rebuild (pinned by the
+        100-seed parity property test and the ``sanitize --online``
+        matrix).
+
+        Args:
+            sensor_ids: sensors whose residual energy changed.
+
+        Raises:
+            ValueError: when an id is absent from the network.
+        """
+        changed = frozenset(sensor_ids)
+        unknown = sorted(s for s in changed if s not in self.network)
+        if unknown:
+            raise ValueError(f"sensor ids not in the network: {unknown}")
+        self.invalidations += 1
+        for sid in changed:
+            self._charge_times.pop(sid, None)
+        stale_coverage = [
+            cand
+            for cand, covered in self._coverage.items()
+            if cand in changed or covered & changed
+        ]
+        for cand in stale_coverage:
+            del self._coverage[cand]
+        stale_groups = [
+            key
+            for key, table in self._stop_groups.items()
+            if changed.intersection(key)
+            or any(sensor in table for sensor in changed)
+        ]
+        for key in stale_groups:
+            del self._stop_groups[key]
 
     # ------------------------------------------------------------------
     # Charge times (Eq. 1)
@@ -450,6 +500,7 @@ snapshot_context` can ship it to worker processes.
         return {
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "invalidations": self.invalidations,
             "minmax_solutions": len(self._minmax),
             "coverage_entries": len(self._coverage),
             "stop_group_indexes": len(self._stop_groups),

@@ -13,7 +13,11 @@ machine-readable reason — that it will never run. Silent queue growth
 * ``deadline-unmeetable`` — the job carries a latency budget
   (``deadline_s``) that is provably unmeetable even under an
   *optimistic* service-time model: the fastest service time ever
-  observed, times the jobs queued ahead, divided by the worker count.
+  observed, times the jobs queued ahead, divided by the worker count,
+  **plus the arriving job's own fastest-possible service time** (a
+  job admitted to an empty queue still needs at least one service
+  time to finish — comparing the queueing wait alone against the
+  deadline accepted jobs that were already certain to miss).
   Following the admission-control argument of arXiv 1810.12385, the
   bound is deliberately a lower bound — the daemon only rejects jobs
   it is *certain* to fail, and never rejects on a pessimistic guess
@@ -32,12 +36,12 @@ parsing prose.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.io import RESULT_FORMAT
 from repro.serve.jobs import PlanJob
+from repro.sim.deadline import ServiceTimeEstimator
 
 #: Rejection reason tags, stable API for clients.
 REJECT_QUEUE_FULL = "queue-full"
@@ -94,51 +98,6 @@ class Rejection:
             "total_s": 0.0,
             "cache": {},
         }
-
-
-class ServiceTimeEstimator:
-    """Optimistic service-time lower bound from observed completions.
-
-    Tracks the *minimum* in-worker planning time seen so far; the
-    admission policy multiplies it by queue position to lower-bound a
-    job's wait. Minimum, not mean: an optimistic bound only ever
-    under-estimates the wait, so a rejection derived from it is a
-    certainty, not a guess. Thread-safe.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._min_service_s: Optional[float] = None
-        self._observations = 0
-
-    def observe(self, service_s: float) -> None:
-        """Record one completed job's service time (seconds)."""
-        if service_s <= 0:
-            return
-        with self._lock:
-            self._observations += 1
-            if (
-                self._min_service_s is None
-                or service_s < self._min_service_s
-            ):
-                self._min_service_s = service_s
-
-    @property
-    def min_service_s(self) -> float:
-        """The optimistic per-job bound; ``0.0`` before any data."""
-        with self._lock:
-            return self._min_service_s or 0.0
-
-    @property
-    def observations(self) -> int:
-        with self._lock:
-            return self._observations
-
-    def optimistic_wait_s(self, queued_ahead: int, workers: int) -> float:
-        """Lower-bound the queueing delay for a newly arriving job."""
-        if queued_ahead <= 0:
-            return 0.0
-        return self.min_service_s * queued_ahead / max(workers, 1)
 
 
 class AdmissionPolicy:
@@ -207,14 +166,17 @@ class AdmissionPolicy:
                 f"({queue_depth}/{self.max_queue})",
             )
         if deadline_s is not None:
-            bound_s = self.estimator.optimistic_wait_s(
+            # Queueing wait *plus* the job's own optimistic service
+            # time: even first in line, the job cannot finish before
+            # one service time has elapsed.
+            bound_s = self.estimator.optimistic_completion_s(
                 queue_depth, self.workers
             )
             if bound_s > deadline_s:
                 return Rejection(
                     REJECT_DEADLINE,
-                    f"optimistic queueing bound {bound_s:.3f}s already "
-                    f"exceeds the {deadline_s:g}s deadline "
+                    f"optimistic completion bound {bound_s:.3f}s "
+                    f"already exceeds the {deadline_s:g}s deadline "
                     f"({queue_depth} queued ahead, "
                     f"min service {self.estimator.min_service_s:.3f}s, "
                     f"{self.workers} workers)",

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.network.topology import random_wrsn
-from repro.serve.jobs import PlanJob, load_jobs, save_jobs
+from repro.serve.jobs import JobResult, PlanJob, load_jobs, save_jobs
 
 #: Default perturbation matrix: two interpreter hash seeds crossed
 #: with serial, dual and quad worker pools.
@@ -167,6 +167,88 @@ def run_child(
             fh.write(result.parity_key() + "\n")
 
 
+def run_online_child(
+    jobs_path: str,
+    variant: str,
+    output_path: str,
+    plugin: Optional[str] = None,
+) -> None:
+    """One online-replanning matrix cell: perturb, then replan.
+
+    For every job, a seeded per-job generator (``default_rng(7000 +
+    index)``) marks roughly a third of the requests as "residuals
+    changed" and draws their new residual energies — the stand-in for
+    mid-round arrivals mutating the network between replans. The
+    ``cold`` variant then plans on a fresh
+    :class:`~repro.pipeline.PlanningContext`; the ``warm`` variant
+    first plans on the *pre*-perturbation state to fill the context
+    memos, applies the perturbation, calls
+    :meth:`~repro.pipeline.PlanningContext.invalidate` with the changed
+    sensors, and replans on the same context. Delta invalidation is
+    correct exactly when every warm cell is byte-identical to the cold
+    baseline.
+
+    Jobs sharing a network object see each other's perturbations (the
+    corpus reuses networks), but both variants process jobs in the same
+    order with the same draws, so the pre-replan state of every job is
+    identical across cells.
+    """
+    if plugin:
+        import importlib
+
+        importlib.import_module(plugin)
+
+    from repro.io import schedule_to_dict
+    from repro.pipeline import PlanningContext, run_planner
+
+    jobs = load_jobs(jobs_path)
+    lines: List[str] = []
+    for index, job in enumerate(jobs):
+        rng = np.random.default_rng(7000 + index)
+        changed = [
+            sid for sid in job.request_ids if rng.random() < 1.0 / 3.0
+        ] or [job.request_ids[0]]
+        fresh = {
+            sid: float(rng.uniform(0.05, 0.2))
+            * job.network.sensor(sid).capacity_j
+            for sid in changed
+        }
+        if variant == "warm":
+            context = PlanningContext(job.network, job.request_ids)
+            run_planner(
+                job.planner,
+                job.network,
+                job.request_ids,
+                job.num_chargers,
+                context=context,
+            )
+            job.network.set_residuals(fresh)
+            context.invalidate(changed)
+        else:
+            job.network.set_residuals(fresh)
+            context = PlanningContext(job.network, job.request_ids)
+        planned = run_planner(
+            job.planner,
+            job.network,
+            job.request_ids,
+            job.num_chargers,
+            context=context,
+        )
+        result = JobResult(
+            job_id=job.job_id,
+            index=index,
+            status="ok",
+            planner=job.planner,
+            num_chargers=job.num_chargers,
+            longest_delay_s=planned.longest_delay(),
+            schedule=schedule_to_dict(planned, algorithm=job.planner),
+        )
+        lines.append(result.parity_key())
+    Path(output_path).write_text(
+        "".join(line + "\n" for line in lines)
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Child-mode entry point (``python -m repro.serve.sanitize``)."""
     parser = argparse.ArgumentParser(
@@ -181,9 +263,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="module to import before planning")
     parser.add_argument("--daemon", action="store_true",
                         help="route the corpus through PlanningDaemon")
+    parser.add_argument("--online", choices=["cold", "warm"], default=None,
+                        help="online-replanning cell: perturb residuals "
+                        "per job, then cold-rebuild or delta-invalidate")
     args = parser.parse_args(argv)
-    run_child(args.jobs, args.workers, args.output,
-              plugin=args.plugin, daemon=args.daemon)
+    if args.online:
+        run_online_child(args.jobs, args.online, args.output,
+                         plugin=args.plugin)
+    else:
+        run_child(args.jobs, args.workers, args.output,
+                  plugin=args.plugin, daemon=args.daemon)
     return 0
 
 
@@ -204,6 +293,9 @@ class Divergence:
         job_id: the baseline job id at that line, when available.
         field: first differing parity field, ``"missing-line"`` when a
             stream is short, ``"unparseable-line"`` on JSON damage.
+        mode: which sweep the cell belongs to — ``"batch"`` for the
+            hash-seed × worker matrix, ``"online-warm"``/
+            ``"online-cold"`` for the online-replanning cells.
     """
 
     hash_seed: int
@@ -211,12 +303,14 @@ class Divergence:
     job_index: int
     job_id: str
     field: str
+    mode: str = "batch"
 
     def describe(self) -> str:
+        tag = "" if self.mode == "batch" else f" {self.mode}"
         return (
-            f"PYTHONHASHSEED={self.hash_seed} workers={self.workers}: "
-            f"job {self.job_index} ({self.job_id or '?'}) diverges in "
-            f"field {self.field!r}"
+            f"PYTHONHASHSEED={self.hash_seed} workers={self.workers}"
+            f"{tag}: job {self.job_index} ({self.job_id or '?'}) "
+            f"diverges in field {self.field!r}"
         )
 
 
@@ -251,6 +345,7 @@ class SanitizeReport:
                     "job_index": d.job_index,
                     "job_id": d.job_id,
                     "field": d.field,
+                    "mode": d.mode,
                 }
                 for d in self.divergences
             ],
@@ -262,6 +357,7 @@ def first_divergence(
     other_text: str,
     hash_seed: int,
     workers: int,
+    mode: str = "batch",
 ) -> Divergence:
     """Locate the first diverging job and field between two streams."""
     base_lines = baseline_text.splitlines()
@@ -275,17 +371,19 @@ def first_divergence(
             other_rec = json.loads(other)
         except json.JSONDecodeError:
             return Divergence(
-                hash_seed, workers, i, job_id, "unparseable-line"
+                hash_seed, workers, i, job_id, "unparseable-line", mode
             )
         job_id = str(base_rec.get("job_id", ""))
         for key in sorted(set(base_rec) | set(other_rec)):
             if base_rec.get(key) != other_rec.get(key):
-                return Divergence(hash_seed, workers, i, job_id, key)
+                return Divergence(
+                    hash_seed, workers, i, job_id, key, mode
+                )
         # Byte difference without a field difference: key order or
         # whitespace damage in the canonical encoder itself.
-        return Divergence(hash_seed, workers, i, job_id, "encoding")
+        return Divergence(hash_seed, workers, i, job_id, "encoding", mode)
     short = min(len(base_lines), len(other_lines))
-    return Divergence(hash_seed, workers, short, "", "missing-line")
+    return Divergence(hash_seed, workers, short, "", "missing-line", mode)
 
 
 def _child_env(hash_seed: int, extra_pythonpath: Sequence[str]) -> Dict:
@@ -313,6 +411,7 @@ def run_matrix(
     timeout_s: float = 600.0,
     work_dir: Optional[str] = None,
     daemon_cells: bool = False,
+    online_cells: bool = False,
 ) -> SanitizeReport:
     """Replan ``jobs_path`` across the perturbation matrix and diff.
 
@@ -335,6 +434,15 @@ def run_matrix(
             and diff it against the same baseline — the daemon's
             accepted results must be byte-identical to the batch
             service's.
+        online_cells: additionally run a cold/warm online-replanning
+            sweep per hash seed (:func:`run_online_child`): every job's
+            residuals are perturbed and replanned either on a fresh
+            context or through
+            :meth:`~repro.pipeline.PlanningContext.invalidate`. These
+            cells plan a *perturbed* corpus, so they diff against their
+            own baseline (the first cold cell), not the batch one; a
+            warm-vs-cold divergence means delta invalidation dropped
+            too little state.
 
     Raises:
         RuntimeError: when a child exits non-zero — that is an
@@ -405,6 +513,63 @@ def run_matrix(
                     else:
                         cell["baseline"] = False
                     report.cells.append(cell)
+        if online_cells:
+            online_baseline: Optional[str] = None
+            for hash_seed in hash_seeds:
+                for variant in ("cold", "warm"):
+                    out_path = os.path.join(
+                        out_dir,
+                        f"parity-h{hash_seed}-online-{variant}.jsonl",
+                    )
+                    cmd = [
+                        sys.executable,
+                        "-m",
+                        "repro.serve.sanitize",
+                        "--jobs", jobs_path,
+                        "--workers", "1",
+                        "--output", out_path,
+                        "--online", variant,
+                    ]
+                    if plugin:
+                        cmd += ["--plugin", plugin]
+                    proc = subprocess.run(
+                        cmd,
+                        env=_child_env(hash_seed, extra_pythonpath),
+                        capture_output=True,
+                        text=True,
+                        timeout=timeout_s,
+                    )
+                    if proc.returncode != 0:
+                        raise RuntimeError(
+                            f"sanitizer child (PYTHONHASHSEED="
+                            f"{hash_seed}, online {variant}) failed "
+                            f"with code {proc.returncode}:\n"
+                            f"{proc.stderr[-2000:]}"
+                        )
+                    text = Path(out_path).read_text()
+                    cell = {
+                        "hash_seed": hash_seed,
+                        "workers": 1,
+                        "daemon": False,
+                        "online": variant,
+                        "lines": len(text.splitlines()),
+                    }
+                    if online_baseline is None:
+                        online_baseline = text
+                        cell["baseline"] = True
+                    else:
+                        cell["baseline"] = False
+                        if text != online_baseline:
+                            report.divergences.append(
+                                first_divergence(
+                                    online_baseline,
+                                    text,
+                                    hash_seed,
+                                    1,
+                                    mode=f"online-{variant}",
+                                )
+                            )
+                    report.cells.append(cell)
 
     if work_dir is not None:
         sweep(work_dir)
@@ -422,6 +587,7 @@ def sanitize_corpus(
     extra_pythonpath: Sequence[str] = (),
     timeout_s: float = 600.0,
     daemon_cells: bool = False,
+    online_cells: bool = False,
 ) -> SanitizeReport:
     """Save ``jobs`` to a temp corpus and :func:`run_matrix` over it."""
     with tempfile.TemporaryDirectory(prefix="repro-sanitize-") as tmp:
@@ -436,6 +602,7 @@ def sanitize_corpus(
             timeout_s=timeout_s,
             work_dir=tmp,
             daemon_cells=daemon_cells,
+            online_cells=online_cells,
         )
 
 
@@ -451,6 +618,7 @@ __all__ = [
     "quick_corpus",
     "run_child",
     "run_matrix",
+    "run_online_child",
     "sanitize_corpus",
 ]
 

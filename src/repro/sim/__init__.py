@@ -16,8 +16,12 @@
   breakdowns, charge droop/interruptions, travel slowdowns, sensor
   hardware failures, depot-communication delay) and the fault-aware
   executor driving mid-round schedule repair.
+* :mod:`repro.sim.deadline` — the optimistic service-time estimator
+  (shared with the daemon's admission control) and the per-request
+  deadline policy of the event-driven online dispatcher.
 """
 
+from repro.sim.deadline import DeadlinePolicy, ServiceTimeEstimator
 from repro.sim.events import Event, EventQueue
 from repro.sim.faults import (
     FaultPlan,
@@ -46,6 +50,7 @@ from repro.sim.trace import SimulationTrace, TraceRecorder
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "DeadlinePolicy",
     "Event",
     "EventQueue",
     "FaultPlan",
@@ -56,6 +61,7 @@ __all__ = [
     "RequestSurge",
     "RoundFaults",
     "SECONDS_PER_YEAR",
+    "ServiceTimeEstimator",
     "SimMetrics",
     "SimulationTrace",
     "TraceRecorder",

@@ -1,0 +1,163 @@
+"""Deadline machinery shared by the daemon's admission control and the
+event-driven online simulation.
+
+:class:`ServiceTimeEstimator` is the optimistic lower-bound tracker of
+arXiv 1810.12385's admission argument: remember the *fastest* service
+ever observed, so any bound derived from it under-estimates the real
+cost and a rejection is a certainty, not a guess. It historically
+lived in :mod:`repro.serve.admission`; it sits here — one layer down —
+so the online simulation (:mod:`repro.sim.online`) can reuse the same
+implementation for its defer/drop decisions without the sim layer
+importing the serve layer (lint R5). ``repro.serve.admission``
+re-exports it unchanged.
+
+:class:`DeadlinePolicy` is the simulation-side wrapper: each charge
+request carries an absolute deadline (arrival + budget), the estimator
+observes realized dispatch-to-finish service times, and a pending
+request is *provably unmeetable* once even the fastest service ever
+seen could not land it inside its deadline. The online simulation
+defers such requests behind still-meetable ones and counts them as
+deadline misses exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["DeadlinePolicy", "ServiceTimeEstimator"]
+
+
+class ServiceTimeEstimator:
+    """Optimistic service-time lower bound from observed completions.
+
+    Tracks the *minimum* in-worker planning time seen so far; the
+    admission policy multiplies it by queue position to lower-bound a
+    job's wait. Minimum, not mean: an optimistic bound only ever
+    under-estimates the wait, so a rejection derived from it is a
+    certainty, not a guess. Thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._min_service_s: Optional[float] = None
+        self._observations = 0
+
+    def observe(self, service_s: float) -> None:
+        """Record one completed job's service time (seconds)."""
+        if service_s <= 0:
+            return
+        with self._lock:
+            self._observations += 1
+            if (
+                self._min_service_s is None
+                or service_s < self._min_service_s
+            ):
+                self._min_service_s = service_s
+
+    @property
+    def min_service_s(self) -> float:
+        """The optimistic per-job bound; ``0.0`` before any data."""
+        with self._lock:
+            return self._min_service_s or 0.0
+
+    @property
+    def observations(self) -> int:
+        with self._lock:
+            return self._observations
+
+    def optimistic_wait_s(self, queued_ahead: int, workers: int) -> float:
+        """Lower-bound the queueing delay for a newly arriving job."""
+        if queued_ahead <= 0:
+            return 0.0
+        return self.min_service_s * queued_ahead / max(workers, 1)
+
+    def optimistic_completion_s(
+        self, queued_ahead: int, workers: int
+    ) -> float:
+        """Lower-bound the *completion* time of a newly arriving job:
+        the queueing wait plus the job's own fastest-ever service
+        time. This is the bound a deadline must be compared against —
+        a job with an empty queue ahead of it still needs at least one
+        service time to finish. ``0.0`` before any observation, so
+        nothing is ever rejected on a pessimistic guess."""
+        return (
+            self.optimistic_wait_s(queued_ahead, workers)
+            + self.min_service_s
+        )
+
+
+class DeadlinePolicy:
+    """Per-request deadline tracking for the online simulation.
+
+    Args:
+        deadline_s: relative latency budget granted to every charge
+            request (absolute deadline = arrival + budget).
+        estimator: shared optimistic service-time tracker; a fresh one
+            is built when not supplied.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float,
+        estimator: Optional[ServiceTimeEstimator] = None,
+    ):
+        if deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+        self.deadline_s = deadline_s
+        self.estimator = (
+            estimator if estimator is not None else ServiceTimeEstimator()
+        )
+        #: sensor id -> absolute deadline of its outstanding request.
+        self._deadlines: Dict[int, float] = {}
+        #: sensors whose outstanding request was already ruled
+        #: unmeetable (counted as a miss once; still charged later).
+        self._dropped: set = set()
+
+    def register(self, sensor_id: int, arrival_s: float) -> None:
+        """A charge request arrived; start its deadline clock."""
+        self._deadlines[sensor_id] = arrival_s + self.deadline_s
+        self._dropped.discard(sensor_id)
+
+    def forget(self, sensor_id: int) -> None:
+        """Drop all tracking for a sensor (e.g. it failed)."""
+        self._deadlines.pop(sensor_id, None)
+        self._dropped.discard(sensor_id)
+
+    def is_dropped(self, sensor_id: int) -> bool:
+        return sensor_id in self._dropped
+
+    def unmeetable(self, sensor_id: int, now_s: float) -> bool:
+        """Whether the request is provably unmeetable at ``now_s``:
+        even the fastest dispatch-to-finish service ever observed
+        would land past the deadline. Always ``False`` before any
+        observation (optimistic bound)."""
+        deadline = self._deadlines.get(sensor_id)
+        if deadline is None:
+            return False
+        floor = self.estimator.min_service_s
+        if floor <= 0.0:
+            return False
+        return now_s + floor > deadline
+
+    def drop(self, sensor_id: int) -> bool:
+        """Mark an unmeetable request as dropped (miss counted by the
+        caller); returns ``False`` when it was already dropped."""
+        if sensor_id in self._dropped:
+            return False
+        self._dropped.add(sensor_id)
+        return True
+
+    def settle(self, sensor_id: int, finish_s: float) -> Optional[bool]:
+        """The request was served at ``finish_s``. Returns whether the
+        deadline was missed, or ``None`` when the sensor was not
+        tracked or its miss was already counted at drop time."""
+        deadline = self._deadlines.pop(sensor_id, None)
+        if sensor_id in self._dropped:
+            self._dropped.discard(sensor_id)
+            return None
+        if deadline is None:
+            return None
+        return finish_s > deadline

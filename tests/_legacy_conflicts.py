@@ -153,11 +153,13 @@ def legacy_resolve_conflicts_after(
         u, v, _ = min(conflicts, key=sort_key)
         su, fu = schedule.stop_interval(u)
         sv, fv = schedule.stop_interval(v)
-        u_frozen = su < frozen_before_s
-        v_frozen = sv < frozen_before_s
+        # Closed boundary, matching the repaired engine: a stop that
+        # started exactly at the frozen instant is already active.
+        u_frozen = su <= frozen_before_s
+        v_frozen = sv <= frozen_before_s
         if u_frozen and v_frozen:
             raise RuntimeError(
-                f"stops {u} and {v} both started before "
+                f"stops {u} and {v} both started at or before "
                 f"{frozen_before_s:.1f}s and overlap; the pre-fault "
                 f"plan was not feasible"
             )

@@ -1,0 +1,58 @@
+"""Tests for the online-replanning campaign (repro.bench.online)."""
+
+import pytest
+
+from repro.bench.online import (
+    SPEEDUP_FLOOR,
+    format_online,
+    make_instance,
+    probe_state,
+    run_online_bench,
+    state_speedup,
+)
+from repro.bench.record import BENCH_FORMAT
+from repro.pipeline import PlanningContext
+
+
+class TestCampaign:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="rounds"):
+            run_online_bench(num_sensors=20, rounds=0)
+        with pytest.raises(ValueError, match="num_sensors"):
+            run_online_bench(num_sensors=0, rounds=1)
+
+    @pytest.mark.slow
+    def test_record_shape_and_parity(self):
+        lines = []
+        record = run_online_bench(
+            num_sensors=60, rounds=2, seed=3, progress=lines.append
+        )
+        assert record["format"] == BENCH_FORMAT
+        assert record["benchmark"] == "online-replanning"
+        assert record["repeats"] == 2
+        assert set(record["metrics"]) == {
+            "invalidate_warm_s",
+            "rebuild_cold_s",
+            "replan_warm_s",
+            "replan_cold_s",
+        }
+        for name in sorted(record["metrics"]):
+            assert len(record["metrics"][name]["samples"]) == 2
+            assert record["metrics"][name]["min"] > 0
+        assert record["derived"]["changed_mean"] >= 1
+        assert state_speedup(record) == record["derived"]["state_speedup"]
+        assert lines  # progress was reported
+        text = format_online(record)
+        assert "state speedup" in text
+        assert f"{SPEEDUP_FLOOR:.0f}x floor" in text
+
+
+class TestProbe:
+    def test_probe_matches_cold_context(self):
+        net = make_instance(40, seed=9)
+        ids = net.all_sensor_ids()
+        warm = PlanningContext(net, ids, share_distances=False)
+        snapshot = probe_state(warm)
+        assert snapshot == probe_state(PlanningContext(net, ids))
+        # The probe forced every residual-dependent memo.
+        assert warm.memo_misses > 0

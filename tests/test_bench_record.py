@@ -93,3 +93,21 @@ class TestCommittedArtifacts:
         assert record["benchmark"] == bench_name
         assert median_of(record, metric) > 0
         assert record["derived"]["speedup"] > 1.0
+
+    def test_online_record_meets_its_floor(self):
+        """The committed ``BENCH_online.json`` is the PR's incremental
+        invalidation acceptance artifact: delta-invalidated state
+        restoration at least ``speedup_floor``x faster than a cold
+        context rebuild."""
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent / "BENCH_online.json"
+        )
+        record = json.loads(path.read_text())
+        assert record["format"] == BENCH_FORMAT
+        assert record["benchmark"] == "online-replanning"
+        assert median_of(record, "invalidate_warm_s") > 0
+        floor = record["params"]["speedup_floor"]
+        assert floor >= 3.0
+        assert record["derived"]["state_speedup"] >= floor

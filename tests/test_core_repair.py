@@ -6,12 +6,16 @@ import numpy as np
 import pytest
 
 from repro.core.appro import appro_schedule
+from repro.core.conflicts import conflicting_pairs
 from repro.core.repair import (
     RepairConfig,
     repair_schedule,
     resolve_conflicts_after,
 )
+from repro.core.schedule import ChargingSchedule
 from repro.core.validation import validate_schedule
+from repro.energy.charging import ChargerSpec
+from repro.geometry.point import Point
 from repro.network.topology import random_wrsn
 from repro.sim.faults.timeline import (
     overlapping_cross_pairs,
@@ -190,6 +194,103 @@ class TestRepairSchedule:
         resolve_conflicts_after(working, frozen)
         for node, start in started_before.items():
             assert working.stop_interval(node)[0] == pytest.approx(start)
+
+
+def _two_stop_frame(intervals):
+    """Two-tour synthetic schedule with exact stop intervals.
+
+    ``intervals`` maps node -> (start, finish); node 1 goes on tour 0,
+    node 2 on tour 1. Both disks contain sensor 3, so the stops form a
+    conflict group. A table-backed distance function (unit speed) pins
+    the start times exactly — no floating-point round trips.
+    """
+    charger = ChargerSpec(travel_speed_mps=1.0)
+    positions = {
+        1: Point(0.0, 10.0),
+        2: Point(5.0, 10.0),
+        3: Point(2.5, 10.0),
+    }
+    coverage = {1: frozenset({1, 3}), 2: frozenset({2, 3})}
+    legs = {(None, 1): intervals[1][0], (None, 2): intervals[2][0]}
+    sched = ChargingSchedule(
+        depot=Point(0.0, 0.0),
+        positions=positions,
+        coverage=coverage,
+        charge_times={},
+        charger=charger,
+        num_tours=2,
+        distance=lambda a, b: legs.get((a, b), 0.0),
+    )
+    for tour, node in ((0, 1), (1, 2)):
+        sched.tours[tour].append(node)
+        sched.tour_of[node] = tour
+        sched.duration[node] = intervals[node][1] - intervals[node][0]
+        sched.wait[node] = 0.0
+        sched.recompute_finish_times(tour)
+    return sched
+
+
+class TestFrozenBoundaryClosed:
+    """A stop whose start equals the frozen instant is already active
+    (closed-interval semantics): resolution must never move it."""
+
+    def test_stop_starting_exactly_at_boundary_is_frozen(self):
+        # Node 1 starts exactly at the boundary; node 2 starts later
+        # and overlaps it. The boundary stop must stay put and the
+        # future stop must yield.
+        sched = _two_stop_frame({1: (100.0, 300.0), 2: (150.0, 350.0)})
+        waits = resolve_conflicts_after(sched, frozen_before_s=100.0)
+        assert waits >= 1
+        assert sched.stop_interval(1) == (100.0, 300.0)
+        assert sched.stop_interval(2)[0] >= 300.0
+        assert conflicting_pairs(sched) == []
+
+    def test_overlap_with_boundary_stop_is_infeasible(self):
+        # Node 1 started strictly before the boundary, node 2 exactly
+        # at it: both belong to the realized past. The engine must
+        # refuse (the pre-fault plan was infeasible) rather than
+        # silently delaying the already-charging boundary stop, which
+        # the old strict-< rule would have done.
+        sched = _two_stop_frame({1: (50.0, 300.0), 2: (100.0, 350.0)})
+        with pytest.raises(RuntimeError, match="at or before"):
+            resolve_conflicts_after(sched, frozen_before_s=100.0)
+
+    def test_frozen_filter_drops_boundary_pair(self):
+        # conflicting_pairs agrees: a pair in which both stops started
+        # at or before the boundary is not actionable.
+        sched = _two_stop_frame({1: (50.0, 300.0), 2: (100.0, 350.0)})
+        assert conflicting_pairs(sched) != []
+        assert conflicting_pairs(sched, frozen_before_s=100.0) == []
+        # ...but a pair with one strictly-future stop is kept.
+        future = _two_stop_frame({1: (100.0, 300.0), 2: (150.0, 350.0)})
+        assert conflicting_pairs(future, frozen_before_s=100.0) != []
+
+    def test_repair_at_exact_stop_start_stays_feasible(self, schedule):
+        # Failure time chosen as the exact start of a surviving-tour
+        # stop: the repaired plan must treat that stop as frozen and
+        # still restore feasibility (reassigned orphans are nudged
+        # strictly past the boundary by the engine).
+        surviving = [
+            n for k in (1, 2) for n in schedule.tours[k]
+        ]
+        starts = sorted(schedule.stop_interval(n)[0] for n in surviving)
+        failure = starts[len(starts) // 2]
+        working = schedule.copy()
+        frozen_before = {
+            n: working.stop_interval(n)
+            for n in surviving
+            if working.stop_interval(n)[0] <= failure
+        }
+        outcome = repair_schedule(
+            working, 0, failure, config=RepairConfig(notification_delay_s=0.0)
+        )
+        for node, interval in frozen_before.items():
+            if node in working.tour_of:
+                assert working.stop_interval(node) == pytest.approx(interval)
+        for node in outcome.reassigned:
+            assert working.stop_interval(node)[0] > failure
+        violations = validate_schedule(working, [])
+        assert [v for v in violations if v.kind == "overlap"] == []
 
 
 class TestRepairProperty:

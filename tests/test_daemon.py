@@ -161,14 +161,33 @@ class TestAdmission:
         policy = AdmissionPolicy(max_queue=100, workers=2)
         policy.estimator.observe(1.0)
         policy.estimator.observe(0.5)  # min wins
-        # 10 queued ahead / 2 workers * 0.5s = 2.5s optimistic bound.
+        # 10 queued ahead / 2 workers * 0.5s wait + 0.5s own service
+        # = 3.0s optimistic completion bound.
         rejection = policy.admit(
             _job(net), queue_depth=10, deadline_s=2.0
         )
         assert rejection.reason == REJECT_DEADLINE
-        assert "2.5" in rejection.detail
+        assert "3.000" in rejection.detail
         assert (
-            policy.admit(_job(net), queue_depth=10, deadline_s=3.0)
+            policy.admit(_job(net), queue_depth=10, deadline_s=3.5)
+            is None
+        )
+
+    def test_deadline_counts_own_service_time(self, net):
+        # Regression: an empty queue used to yield a zero bound, so a
+        # job whose deadline was shorter than any possible service
+        # time was accepted — and then necessarily missed. The bound
+        # now includes the arriving job's own optimistic service time.
+        policy = AdmissionPolicy(max_queue=100, workers=2)
+        policy.estimator.observe(1.0)
+        rejection = policy.admit(
+            _job(net), queue_depth=0, deadline_s=0.5
+        )
+        assert rejection is not None
+        assert rejection.reason == REJECT_DEADLINE
+        # A deadline the fastest-ever service can meet still admits.
+        assert (
+            policy.admit(_job(net), queue_depth=0, deadline_s=1.5)
             is None
         )
 

@@ -1,11 +1,19 @@
 """Unit tests for :mod:`repro.pipeline.context`."""
 
+import numpy as np
 import pytest
 
 from repro.energy.charging import ChargerSpec, full_charge_time
 from repro.graphs.mis import is_independent_set
 from repro.graphs.unit_disk import build_charging_graph
-from repro.pipeline import PlanningContext, shared_distance_cache
+from repro.io import dump_jsonl_line, schedule_to_dict
+from repro.network.topology import random_wrsn
+from repro.pipeline import (
+    PlanningContext,
+    planner_names,
+    run_planner,
+    shared_distance_cache,
+)
 
 
 class TestConstruction:
@@ -134,6 +142,129 @@ class TestMemoizedValues:
         assert -1 not in again[0]
         assert again_delay == delay
         assert ctx.stats()["minmax_solutions"] == 1
+
+
+class TestInvalidate:
+    def test_unknown_sensor_rejected(self, depleted_net):
+        ctx = PlanningContext(depleted_net, [0, 1])
+        with pytest.raises(ValueError, match="not in the network"):
+            ctx.invalidate([0, 99_999])
+
+    def test_counter_appears_in_stats(self, depleted_net):
+        ctx = PlanningContext(depleted_net, [0, 1, 2])
+        assert ctx.stats()["invalidations"] == 0
+        ctx.invalidate([0])
+        ctx.invalidate([1, 2])
+        assert ctx.stats()["invalidations"] == 2
+
+    def test_charge_time_recomputed_after_residual_change(
+        self, depleted_net
+    ):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        sid = ctx.requests[0]
+        stale = ctx.charge_time(sid)
+        sensor = depleted_net.sensor(sid)
+        depleted_net.set_residuals({sid: 0.5 * sensor.capacity_j})
+        # Without invalidation the memo serves the stale value.
+        assert ctx.charge_time(sid) == stale
+        ctx.invalidate([sid])
+        fresh = ctx.charge_time(sid)
+        assert fresh != stale
+        assert fresh == full_charge_time(
+            sensor.capacity_j, sensor.residual_j, ctx.charger.charge_rate_w
+        )
+
+    def test_only_touched_coverage_and_groups_dropped(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        candidates = ctx.sojourn_candidates()
+        coverage = ctx.coverage_for(candidates)
+        ctx.sensor_stop_groups(candidates)
+        changed = next(iter(coverage[candidates[0]]))
+        touched = {
+            cand
+            for cand, covered in coverage.items()
+            if cand == changed or changed in covered
+        }
+        assert touched and len(touched) < len(coverage)
+        ctx.invalidate([changed])
+        stats = ctx.stats()
+        assert stats["coverage_entries"] == len(coverage) - len(touched)
+        # The one memoized group table mentions the sensor -> dropped.
+        assert stats["stop_group_indexes"] == 0
+        # Recomputation restores exactly the cold-context values.
+        cold = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        assert ctx.coverage_for(candidates) == cold.coverage_for(candidates)
+        assert ctx.sensor_stop_groups(candidates) == (
+            cold.sensor_stop_groups(candidates)
+        )
+
+    def test_geometry_memos_survive(self, depleted_net):
+        ctx = PlanningContext(depleted_net, depleted_net.all_sensor_ids())
+        graph = ctx.charging_graph
+        grid = ctx.grid_index
+        mis = ctx.sojourn_candidates()
+        ctx.invalidate(list(ctx.requests))
+        assert ctx.charging_graph is graph
+        assert ctx.grid_index is grid
+        misses = ctx.memo_misses
+        assert ctx.sojourn_candidates() == mis
+        assert ctx.memo_misses == misses  # served from the memo
+
+
+class TestInvalidateReplanParity:
+    """Satellite acceptance: ``invalidate`` followed by a replan is
+    byte-identical to a cold context rebuild — across 100 seeds
+    covering every registered planner and K in {1, 2, 3}."""
+
+    def test_100_seed_warm_cold_parity(self):
+        planners = planner_names()
+        seen = set()
+        for seed in range(100):
+            net = random_wrsn(num_sensors=16 + seed % 8, seed=3000 + seed)
+            rng = np.random.default_rng(4000 + seed)
+            ids = net.all_sensor_ids()
+            net.set_residuals(
+                {
+                    sid: float(rng.uniform(0.05, 0.2))
+                    * net.sensor(sid).capacity_j
+                    for sid in ids
+                }
+            )
+            planner = planners[seed % len(planners)]
+            k = 1 + (seed // len(planners)) % 3
+            seen.add((planner, k))
+
+            warm_ctx = PlanningContext(net, ids)
+            run_planner(planner, net, ids, k, context=warm_ctx)
+
+            changed = [sid for sid in ids if rng.random() < 1 / 3]
+            changed = changed or [ids[0]]
+            net.set_residuals(
+                {
+                    sid: float(rng.uniform(0.05, 0.2))
+                    * net.sensor(sid).capacity_j
+                    for sid in changed
+                }
+            )
+            warm_ctx.invalidate(changed)
+            warm = run_planner(planner, net, ids, k, context=warm_ctx)
+            cold = run_planner(
+                planner, net, ids, k, context=PlanningContext(net, ids)
+            )
+            warm_bytes = dump_jsonl_line(
+                schedule_to_dict(warm, algorithm=planner)
+            )
+            cold_bytes = dump_jsonl_line(
+                schedule_to_dict(cold, algorithm=planner)
+            )
+            assert warm_bytes == cold_bytes, (
+                f"seed {seed}: warm replan diverged from cold rebuild "
+                f"({planner}, K={k}, {len(changed)} changed)"
+            )
+        # The seed sweep must have covered the full grid.
+        assert seen == {
+            (p, k) for p in planners for k in (1, 2, 3)
+        }
 
 
 class TestSharedDistances:

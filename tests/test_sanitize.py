@@ -212,6 +212,33 @@ class TestInjectedBug:
             cell["lines"] == len(jobs) for cell in report.cells
         )
 
+    @pytest.mark.slow
+    def test_online_cells_warm_matches_cold(self, tmp_path):
+        # The online-replanning sweep: a warm delta-invalidated replan
+        # must be byte-identical to a cold context rebuild of the same
+        # perturbed corpus, under both interpreter hash seeds.
+        jobs = build_corpus(
+            num_networks=1,
+            num_sensors=16,
+            planners=("Appro", "K-EDF"),
+            charger_counts=(1, 2),
+        )
+        report = sanitize_corpus(
+            jobs,
+            hash_seeds=(0, 1),
+            worker_counts=(1,),
+            online_cells=True,
+        )
+        assert report.ok, [d.describe() for d in report.divergences]
+        online = [c for c in report.cells if c.get("online")]
+        assert len(online) == 4
+        assert {c["online"] for c in online} == {"cold", "warm"}
+        # One online baseline (the first cold cell), three compared.
+        assert sum(1 for c in online if c["baseline"]) == 1
+        assert all(
+            cell["lines"] == len(jobs) for cell in report.cells
+        )
+
 
 def test_child_module_is_lint_clean_for_pool_rules():
     """The sanitizer's own module passes the determinism rules."""

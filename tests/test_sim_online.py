@@ -3,6 +3,7 @@
 import pytest
 
 from repro.network.topology import random_wrsn
+from repro.sim.faults.scenarios import get_scenario
 from repro.sim.online import OnlineMonitoringSimulation
 from repro.sim.simulator import MonitoringSimulation
 
@@ -66,6 +67,52 @@ class TestOnlineSimulation:
         if batch.num_rounds > 0:
             assert online.num_rounds >= batch.num_rounds
 
+    def test_request_delays_measured_from_true_arrivals(self):
+        """Every batched request settles exactly once (no faults), and
+        its delay — measured from the true arrival event, not the
+        dispatch that picked it up — is strictly positive."""
+        net = random_wrsn(num_sensors=80, seed=51)
+        metrics = OnlineMonitoringSimulation(
+            net, 2, horizon_s=20 * 86400.0
+        ).run()
+        assert len(metrics.request_delays_s) == sum(
+            metrics.round_request_counts
+        )
+        assert all(d > 0 for d in metrics.request_delays_s)
+        assert metrics.mean_request_delay_s > 0
+        # A request that arrived while every vehicle was mid-tour waits
+        # before its dispatch even departs, so the realized per-request
+        # delay can exceed any single tour's duration.
+        assert max(metrics.request_delays_s) > min(
+            metrics.round_longest_delays_s
+        )
+
+    def test_audit_sweep_finds_no_violations(self):
+        net = random_wrsn(num_sensors=80, seed=51)
+        sim = OnlineMonitoringSimulation(
+            net, 2, horizon_s=10 * 86400.0, audit=True
+        )
+        sim.run()
+        assert sim._audit_stops  # settled stops were collected
+        assert sim.audit_overlap_violations == []
+
+    def test_audit_sweep_detects_planted_overlap(self):
+        """The audit is a real check: a synthetic cross-tour overlap
+        with a shared disk sensor is reported; a time-overlapping stop
+        with a disjoint disk is not, and neither is a shared-disk
+        stop that merely *touches* (finish == next start)."""
+        sim = OnlineMonitoringSimulation(
+            random_wrsn(num_sensors=10, seed=1), 1, audit=True
+        )
+        sim._audit_stops = [
+            (0.0, 10.0, 1, frozenset({1, 2})),
+            (5.0, 15.0, 2, frozenset({2, 3})),
+            (6.0, 15.0, 3, frozenset({9})),
+            (15.0, 20.0, 4, frozenset({1, 2})),
+        ]
+        sim._audit_sweep()
+        assert sim.audit_overlap_violations == [(1, 2)]
+
     def test_online_no_worse_dead_time_under_load(self):
         """Online dispatch should not lose to batch on dead time in a
         loaded network (vehicles never idle waiting for the slowest)."""
@@ -81,3 +128,77 @@ class TestOnlineSimulation:
             online.total_dead_time_s
             <= batch.total_dead_time_s + 60.0 * len(net)
         )
+
+
+class TestDeadlinePolicyOnline:
+    HORIZON = 15 * 86400.0
+
+    def test_no_policy_no_tracking(self):
+        net = random_wrsn(num_sensors=50, seed=61)
+        metrics = OnlineMonitoringSimulation(
+            net, 2, horizon_s=self.HORIZON
+        ).run()
+        assert metrics.deadline_total == 0
+        assert metrics.deadline_miss_ratio == 0.0
+        assert "deadline_miss" not in metrics.summary()
+
+    def test_tight_deadline_misses_more_than_loose(self):
+        net = random_wrsn(num_sensors=60, seed=62)
+        loose = OnlineMonitoringSimulation(
+            net, 2, horizon_s=self.HORIZON, deadline_s=30 * 86400.0
+        ).run()
+        tight = OnlineMonitoringSimulation(
+            net, 2, horizon_s=self.HORIZON, deadline_s=60.0
+        ).run()
+        assert loose.deadline_total > 0
+        assert tight.deadline_total > 0
+        # A 30-day budget over a 15-day horizon cannot be missed; a
+        # 60-second budget against multi-hour tours almost always is.
+        assert loose.deadline_miss_ratio == 0.0
+        assert tight.deadline_miss_ratio > 0.5
+        assert tight.deadline_miss_ratio > loose.deadline_miss_ratio
+        assert tight.deadline_dropped <= tight.deadline_misses
+        assert tight.deadline_misses <= tight.deadline_total
+        assert "deadline_miss=" in tight.summary()
+
+    def test_dropped_requests_are_still_served(self):
+        """Deferral is triage, not abandonment: every request settles
+        (and its delay is recorded) even when ruled unmeetable."""
+        net = random_wrsn(num_sensors=60, seed=63)
+        metrics = OnlineMonitoringSimulation(
+            net, 2, horizon_s=self.HORIZON, deadline_s=60.0
+        ).run()
+        assert metrics.deadline_dropped > 0
+        assert len(metrics.request_delays_s) == sum(
+            metrics.round_request_counts
+        )
+
+    def test_deterministic_with_deadline(self):
+        net = random_wrsn(num_sensors=50, seed=64)
+        runs = [
+            OnlineMonitoringSimulation(
+                net, 2, horizon_s=self.HORIZON, deadline_s=4 * 3600.0
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].deadline_total == runs[1].deadline_total
+        assert runs[0].deadline_misses == runs[1].deadline_misses
+        assert runs[0].deadline_dropped == runs[1].deadline_dropped
+        assert runs[0].request_delays_s == runs[1].request_delays_s
+        assert runs[0].dead_time_s == runs[1].dead_time_s
+
+    def test_overload_scenario_exercises_deadline_metrics(self):
+        """The fault campaign's overload scenario drives surged
+        arrivals through the deadline ledger."""
+        net = random_wrsn(num_sensors=60, seed=65)
+        metrics = OnlineMonitoringSimulation(
+            net,
+            2,
+            horizon_s=self.HORIZON,
+            fault_plan=get_scenario("overload", seed=5),
+            deadline_s=4 * 3600.0,
+        ).run()
+        assert metrics.total_surged > 0
+        assert metrics.deadline_total > 0
+        assert 0.0 <= metrics.deadline_miss_ratio <= 1.0
+        assert metrics.deadline_dropped <= metrics.deadline_misses
