@@ -745,3 +745,64 @@ def cmd_lint(args) -> int:
     else:
         print("clean: no findings")
     return 1 if findings else 0
+
+
+def cmd_eval(args) -> int:
+    """Run the head-to-head planner evaluation (repro.eval)."""
+    from repro.eval import (
+        default_matrix,
+        quick_matrix,
+        render_cells_table,
+        render_summary_table,
+        report_to_json,
+        run_eval,
+    )
+
+    matrix = (
+        quick_matrix(seed=args.seed)
+        if args.quick
+        else default_matrix(seed=args.seed)
+    )
+    report = run_eval(
+        matrix,
+        workers=args.workers,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    fmt = "markdown" if args.markdown else "ascii"
+    print(render_summary_table(report, fmt=fmt))
+    if args.cells:
+        print()
+        print(render_cells_table(report, fmt=fmt))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report_to_json(report))
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.bench:
+        from repro.bench.record import bench_record, write_bench_record
+
+        cells = report["cells"]
+        derived = {}
+        for name, stats in report["planners"].items():
+            rate = stats["win_rate_vs_appro"]
+            if rate is not None:
+                derived[f"win_rate_vs_appro[{name}]"] = rate
+            derived[f"mean_planned_delay_s[{name}]"] = stats[
+                "mean_planned_delay_s"
+            ]
+        record = bench_record(
+            benchmark="eval-head-to-head",
+            params=report["matrix"],
+            metrics={
+                "planned_delay_s": [
+                    c["planned_delay_s"] for c in cells
+                ],
+                "realized_mean_s": [c["realized_mean_s"] for c in cells],
+                "deadline_miss_ratio": [
+                    c["deadline_miss_ratio"] for c in cells
+                ],
+            },
+            derived=derived,
+        )
+        write_bench_record(record, args.bench)
+        print(f"wrote {args.bench}", file=sys.stderr)
+    return 0

@@ -413,6 +413,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     san.set_defaults(func=commands.cmd_sanitize)
 
+    evl = sub.add_parser(
+        "eval",
+        help="head-to-head planner evaluation: all registered "
+        "planners x scenario matrix x fault plans, one reproducible "
+        "repro-eval/1 report and table",
+    )
+    evl.add_argument(
+        "--quick", action="store_true",
+        help="small grid for CI smoke runs; the quick report carries "
+        "no timings and is byte-identical at any worker count",
+    )
+    evl.add_argument(
+        "--workers", type=int, default=1,
+        help="pool processes (default: 1; results are byte-identical "
+        "at any count)",
+    )
+    evl.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed for instances, residuals and fault plans "
+        "(default: 0)",
+    )
+    evl.add_argument(
+        "--markdown", action="store_true",
+        help="render the tables as markdown instead of ASCII",
+    )
+    evl.add_argument(
+        "--cells", action="store_true",
+        help="also print the per-cell detail table",
+    )
+    evl.add_argument(
+        "-o", "--output", default=None,
+        help="write the repro-eval/1 JSON report here",
+    )
+    evl.add_argument(
+        "--bench", default=None, metavar="PATH",
+        help="also write a repro-bench/1 record (BENCH_eval.json)",
+    )
+    evl.set_defaults(func=commands.cmd_eval)
+
     return parser
 
 

@@ -13,6 +13,9 @@
   ``ConflictResolver`` behind every wait-insertion repair loop.
 * :mod:`repro.core.validation` — feasibility validator for coverage,
   node-disjointness and the no-simultaneous-charging constraint.
+* :mod:`repro.core.metaheuristic` — the anytime GA planner tier:
+  Appro-seeded permutation search over sojourn stops with Or-opt/2-opt
+  memetic refinement under a deterministic evaluation budget.
 * :mod:`repro.core.ratio` — the approximation-ratio machinery of
   Section V (Lemma 2 bound on ``Δ_H``, Theorem 1 ratio, empirical
   lower-bound certificates).
@@ -23,6 +26,10 @@
 """
 
 from repro.core.appro import ApproArtifacts, appro_schedule
+from repro.core.metaheuristic import (
+    MetaheuristicTrace,
+    metaheuristic_schedule,
+)
 from repro.core.conflicts import (
     OVERLAP_EPS,
     ConflictResolver,
@@ -50,6 +57,7 @@ __all__ = [
     "ApproArtifacts",
     "ChargingSchedule",
     "ConflictResolver",
+    "MetaheuristicTrace",
     "RepairConfig",
     "RepairOutcome",
     "ScheduleViolation",
@@ -60,6 +68,7 @@ __all__ = [
     "delta_h_bound",
     "empirical_lower_bound",
     "has_conflict",
+    "metaheuristic_schedule",
     "minimum_pairwise_slack",
     "repair_schedule",
     "resolve_conflicts_after",

@@ -1,0 +1,112 @@
+"""The ``repro-eval/1`` report envelope.
+
+The report is one JSON document: the matrix header, the ordered cell
+records, and a per-planner summary with the win rate against
+``Appro``.  Quick-mode reports strip every wall-clock field, so the
+serialized bytes are a pure function of (matrix, code) — the parity
+tests compare them across worker counts and ``PYTHONHASHSEED``.
+Full-mode reports keep per-cell timings under a separate ``timings``
+key, deliberately outside the parity surface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.eval.matrix import EvalMatrix, resolve_planners
+from repro.io import dump_jsonl_line
+
+EVAL_FORMAT = "repro-eval/1"
+
+#: A planner "matches" Appro within this relative slack.
+_WIN_REL_TOL = 1e-9
+
+
+def _wins(delay_s: float, appro_delay_s: float) -> bool:
+    return delay_s <= appro_delay_s * (1.0 + _WIN_REL_TOL)
+
+
+def build_report(
+    matrix: EvalMatrix, records: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Assemble the ``repro-eval/1`` document from cell records.
+
+    Args:
+        matrix: the evaluated matrix.
+        records: :func:`repro.eval.worker.execute_eval_cell` outputs,
+            in :func:`repro.eval.matrix.build_cells` order.
+
+    Returns:
+        The report mapping (JSON-ready).
+    """
+    cells = [
+        {key: value for key, value in rec.items() if key != "timing"}
+        for rec in records
+    ]
+
+    # Win rate vs Appro, per group (same instance, K and fault draws).
+    appro_delay: Dict[str, float] = {}
+    for rec in records:
+        if rec["planner"] == "Appro":
+            appro_delay[rec["group"]] = rec["planned_delay_s"]
+
+    planners: Dict[str, Dict[str, Any]] = {}
+    for name in resolve_planners(matrix):
+        mine = [rec for rec in records if rec["planner"] == name]
+        if not mine:
+            continue
+        scored = [rec for rec in mine if rec["group"] in appro_delay]
+        wins = sum(
+            1
+            for rec in scored
+            if _wins(rec["planned_delay_s"], appro_delay[rec["group"]])
+        )
+        planners[name] = {
+            "cells": len(mine),
+            "scored_vs_appro": len(scored),
+            "wins_vs_appro": wins,
+            "win_rate_vs_appro": (
+                wins / len(scored) if scored else None
+            ),
+            "mean_planned_delay_s": (
+                sum(rec["planned_delay_s"] for rec in mine) / len(mine)
+            ),
+            "mean_realized_delay_s": (
+                sum(rec["realized_mean_s"] for rec in mine) / len(mine)
+            ),
+            "mean_deadline_miss_ratio": (
+                sum(rec["deadline_miss_ratio"] for rec in mine)
+                / len(mine)
+            ),
+            "total_repairs": sum(rec["repairs"] for rec in mine),
+            "total_violations": sum(rec["violations"] for rec in mine),
+        }
+
+    report: Dict[str, Any] = {
+        "format": EVAL_FORMAT,
+        "quick": matrix.quick,
+        "matrix": matrix.describe(),
+        "cells": cells,
+        "planners": planners,
+    }
+    if not matrix.quick:
+        report["timings"] = {
+            rec["cell"]: rec["timing"] for rec in records
+        }
+    return report
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """Canonical serialization (sorted keys, trailing newline)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def cell_parity_lines(report: Dict[str, Any]) -> List[str]:
+    """One canonical JSONL line per cell, for divergence reporting.
+
+    The parity tests feed these through
+    :func:`repro.serve.sanitize.first_divergence` when two reports
+    disagree, pinpointing the first differing cell and field.
+    """
+    return [dump_jsonl_line(cell) for cell in report["cells"]]

@@ -1,0 +1,57 @@
+"""Drive an evaluation matrix through the ``serve.pool`` engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.eval.matrix import EvalMatrix, build_cells
+from repro.eval.report import build_report
+from repro.eval.worker import execute_eval_cell
+from repro.serve.pool import PoolConfig, run_tasks
+
+
+def run_eval(
+    matrix: EvalMatrix,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Evaluate every cell of ``matrix`` and build its report.
+
+    Args:
+        matrix: the grid to run.
+        workers: pool processes (1 = in-process serial; results are
+            byte-identical at any count).
+        timeout_s: optional per-cell execution bound.
+        progress: optional callable receiving one line per milestone.
+
+    Returns:
+        The ``repro-eval/1`` report mapping.
+
+    Raises:
+        RuntimeError: if any cell fails (eval has no partial reports —
+            a missing cell would silently skew the win rates).
+    """
+    cells = build_cells(matrix)
+    if progress is not None:
+        progress(
+            f"eval: {len(cells)} cells "
+            f"({len(matrix.sizes)} sizes x "
+            f"{len(matrix.densities)} densities x "
+            f"{len(matrix.num_chargers)} K x "
+            f"{len(matrix.scenarios)} scenarios), "
+            f"workers={workers}"
+        )
+    config = PoolConfig(workers=workers, timeout_s=timeout_s)
+    outcomes = run_tasks(execute_eval_cell, cells, config=config)
+    records = []
+    for payload, outcome in zip(cells, outcomes):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"eval cell {payload['cell']} failed "
+                f"({outcome.status}): {outcome.error}"
+            )
+        records.append(outcome.value)
+    if progress is not None:
+        progress(f"eval: {len(records)} cells done")
+    return build_report(matrix, records)

@@ -1,0 +1,102 @@
+"""ASCII / markdown rendering of an eval report.
+
+Two tables: a per-planner summary (win rate vs Appro, mean delays,
+miss ratio, repairs) and the per-cell detail (longest delay, miss
+ratio, repairs, wall time — ``-`` when the report carries no
+timings).  ``fmt="markdown"`` emits pipe tables; ``"ascii"`` pads with
+spaces under a dashed rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def _render(rows: List[List[str]], header: Sequence[str], fmt: str) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(row[i]) for row in rows))
+        if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    if fmt == "markdown":
+        lines = [
+            "| " + " | ".join(str(h) for h in header) + " |",
+            "| " + " | ".join("---" for _ in header) + " |",
+        ]
+        lines.extend(
+            "| " + " | ".join(row) + " |" for row in rows
+        )
+        return "\n".join(lines)
+    head = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(header)
+    )
+    rule = "  ".join("-" * w for w in widths)
+    lines = [head, rule]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    )
+    return "\n".join(lines)
+
+
+def _pct(value: Any) -> str:
+    return "-" if value is None else f"{100.0 * value:.0f}%"
+
+
+def render_summary_table(
+    report: Dict[str, Any], fmt: str = "ascii"
+) -> str:
+    """The per-planner summary table of a ``repro-eval/1`` report."""
+    header = (
+        "planner",
+        "cells",
+        "win-vs-Appro",
+        "mean delay (s)",
+        "mean realized (s)",
+        "miss ratio",
+        "repairs",
+    )
+    rows = []
+    for name, stats in report["planners"].items():
+        rows.append(
+            [
+                name,
+                str(stats["cells"]),
+                _pct(stats["win_rate_vs_appro"]),
+                f"{stats['mean_planned_delay_s']:.1f}",
+                f"{stats['mean_realized_delay_s']:.1f}",
+                f"{stats['mean_deadline_miss_ratio']:.3f}",
+                str(stats["total_repairs"]),
+            ]
+        )
+    return _render(rows, header, fmt)
+
+
+def render_cells_table(
+    report: Dict[str, Any], fmt: str = "ascii"
+) -> str:
+    """The per-cell detail table of a ``repro-eval/1`` report."""
+    timings = report.get("timings", {})
+    header = (
+        "cell",
+        "delay (s)",
+        "realized (s)",
+        "miss ratio",
+        "repairs",
+        "wall (s)",
+    )
+    rows = []
+    for cell in report["cells"]:
+        timing = timings.get(cell["cell"])
+        rows.append(
+            [
+                cell["cell"],
+                f"{cell['planned_delay_s']:.1f}",
+                f"{cell['realized_mean_s']:.1f}",
+                f"{cell['deadline_miss_ratio']:.3f}",
+                str(cell["repairs"]),
+                f"{timing['wall_s']:.2f}" if timing else "-",
+            ]
+        )
+    return _render(rows, header, fmt)

@@ -51,6 +51,7 @@ LAYERS: Dict[str, int] = {
     "io": 7,
     "sim": 7,
     "serve": 8,
+    "eval": 9,
     "bench": 9,
     "viz": 9,
     "cli": 10,

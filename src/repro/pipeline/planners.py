@@ -19,6 +19,7 @@ from repro.baselines.kedf import kedf_schedule
 from repro.baselines.kminmax_baseline import kminmax_baseline_schedule
 from repro.baselines.netwrap import netwrap_schedule
 from repro.core.appro import appro_schedule
+from repro.core.metaheuristic import metaheuristic_schedule
 from repro.core.schedule import ChargingSchedule
 from repro.energy.charging import ChargerSpec
 from repro.network.topology import WRSN
@@ -145,6 +146,28 @@ def _greedy_cover(
     )
 
 
+def _metaheuristic(
+    network: WRSN,
+    request_ids: Sequence[int],
+    num_chargers: int,
+    charger: Optional[ChargerSpec] = None,
+    lifetimes: Optional[Mapping[int, float]] = None,
+    context: Optional[PlanningContext] = None,
+    **kwargs: Any,
+) -> ChargingSchedule:
+    # Anytime GA seeded from Appro; lifetimes do not enter (it keeps
+    # Appro's deficit-driven coverage decisions and searches routing).
+    kwargs.setdefault("seed", 0)
+    return metaheuristic_schedule(
+        network,
+        request_ids,
+        num_chargers,
+        charger=charger,
+        context=context,
+        **kwargs,
+    )
+
+
 # The paper's five, in the paper's presentation order, then extensions.
 register_planner(PlannerInfo(name="Appro", build=_appro, multi_node=True))
 register_planner(PlannerInfo(name="K-EDF", build=_kedf, multi_node=False))
@@ -156,5 +179,13 @@ register_planner(
 register_planner(
     PlannerInfo(
         name="GreedyCover", build=_greedy_cover, multi_node=True, paper=False
+    )
+)
+register_planner(
+    PlannerInfo(
+        name="Metaheuristic",
+        build=_metaheuristic,
+        multi_node=True,
+        paper=False,
     )
 )

@@ -40,6 +40,7 @@ from repro.serve.daemon import (
     DaemonConfig,
     JobTicket,
     PlanningDaemon,
+    geometry_digest,
     network_digest,
 )
 from repro.serve.health import (
@@ -141,6 +142,7 @@ __all__ = [
     "load_jobs",
     "load_jobs_lenient",
     "make_socket_server",
+    "geometry_digest",
     "network_digest",
     "request",
     "request_status",

@@ -8,11 +8,15 @@ rather than in neat pre-assembled batches. The daemon composes the
 pieces this package already trusts:
 
 * **Persistent warm contexts** — one stable daemon ``token`` plus
-  *content-digest* group keys (:func:`network_digest`) key the
+  *geometry-digest* group keys (:func:`geometry_digest`) key the
   worker-side :data:`~repro.serve.workers._GROUP_CACHE`, so two
   requests about the same network — arriving minutes apart, inlined
-  or referenced, from different connections — land on the same warm
-  :class:`~repro.pipeline.PlanningContext` group. The
+  or referenced, from different connections, even after residual
+  energies drifted — land on the same warm
+  :class:`~repro.pipeline.PlanningContext` group; the worker syncs
+  drifted residuals onto the pinned network and calls
+  :meth:`~repro.pipeline.PlanningContext.invalidate` per changed
+  sensor instead of rebuilding. The
   :class:`~repro.serve.health.SupervisedPool` keeps worker processes
   (and therefore those caches) alive across requests; with
   ``workers=1`` the cache lives in the daemon process itself.
@@ -90,6 +94,29 @@ def network_digest(network: WRSN) -> str:
     """
     canonical = dump_jsonl_line(wrsn_to_dict(network))
     return "net-" + hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def geometry_digest(network: WRSN) -> str:
+    """Group key for a network's *geometry* — residuals excluded.
+
+    Residual energies drift between requests as sensors drain, but
+    everything a :class:`~repro.pipeline.PlanningContext` memoizes
+    about geometry (distance cache, charging graph, MIS candidates,
+    coverage disks, codecs) depends only on positions and capacities.
+    Keying warm-context groups on this digest lets a drifted request
+    land on its warm group and pay only a per-sensor
+    :meth:`~repro.pipeline.PlanningContext.invalidate` (done worker-
+    side by ``execute_plan_job``) instead of a cold rebuild.
+
+    :func:`network_digest` still keys coalescing and the known-network
+    table: two jobs differing only in residuals are different *work*,
+    just the same *geometry*.
+    """
+    doc = wrsn_to_dict(network)
+    for sensor in doc.get("sensors", []):
+        sensor.pop("level_j", None)
+    canonical = dump_jsonl_line(doc)
+    return "geo-" + hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -443,7 +470,9 @@ class PlanningDaemon:
                 entry.tickets.append(ticket)
                 self._counters["coalesced"] += 1
                 return ticket
-            entry = _Entry(key, ticket, group_key=digest)
+            entry = _Entry(
+                key, ticket, group_key=geometry_digest(job.network)
+            )
             self._coalesce[key] = entry
             self._queue.append(entry)
             self._cond.notify()
@@ -601,5 +630,6 @@ __all__ = [
     "DaemonConfig",
     "JobTicket",
     "PlanningDaemon",
+    "geometry_digest",
     "network_digest",
 ]

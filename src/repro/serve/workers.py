@@ -31,6 +31,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.io import schedule_to_dict
 from repro.network.topology import WRSN
+from repro.units import approx_eq
 from repro.pipeline import (
     ContextSnapshot,
     PlanningContext,
@@ -83,6 +84,37 @@ def _group_state(
     return state, False
 
 
+def _sync_residuals(state: GroupState, incoming: WRSN) -> None:
+    """Fold a drifted request's residuals into its warm group.
+
+    The daemon keys groups on :func:`~repro.serve.daemon.geometry_digest`,
+    so a request about a structurally identical network whose batteries
+    have drained since the group was pinned still lands here. Instead
+    of rebuilding the group's contexts (the pre-PR-10 behaviour), copy
+    the changed residual levels onto the pinned network and
+    :meth:`~repro.pipeline.context.PlanningContext.invalidate` exactly
+    those sensors on every warm context — geometry memos survive, and
+    the replan is byte-identical to a cold rebuild (pinned by
+    ``tests/test_daemon.py``).
+    """
+    pinned = state.network
+    drift = {}
+    for sid in sorted(pinned.all_sensor_ids()):
+        level = incoming.sensor(sid).residual_j
+        # Exact comparison on purpose (rel_eps=0): any bit of drift
+        # must invalidate, or the warm replan would diverge from a
+        # cold rebuild at byte level.
+        if not approx_eq(level, pinned.sensor(sid).residual_j,
+                         rel_eps=0.0, abs_eps=0.0):
+            drift[sid] = level
+    if not drift:
+        return
+    pinned.set_residuals(drift)
+    changed = sorted(drift)
+    for context in state.contexts.values():
+        context.invalidate(changed)
+
+
 def execute_plan_job(payload: Dict) -> Dict:
     """Plan one job; the payload/result contract of the batch service.
 
@@ -109,7 +141,9 @@ def execute_plan_job(payload: Dict) -> Dict:
     start = time.perf_counter()
     context_reused = False
     if share_contexts:
-        state, _ = _group_state(token, group_key, network)
+        state, existed = _group_state(token, group_key, network)
+        if existed and network is not state.network:
+            _sync_residuals(state, network)
         context = state.contexts.get(requests)
         if context is not None:
             context_reused = True

@@ -129,6 +129,12 @@ class DeadlinePolicy:
     def is_dropped(self, sensor_id: int) -> bool:
         return sensor_id in self._dropped
 
+    def deadline_of(self, sensor_id: int) -> Optional[float]:
+        """The absolute deadline of the sensor's outstanding request,
+        or ``None`` when it is not tracked. Lets the dispatcher order
+        candidates earliest-deadline-first instead of spatially."""
+        return self._deadlines.get(sensor_id)
+
     def unmeetable(self, sensor_id: int, now_s: float) -> bool:
         """Whether the request is provably unmeetable at ``now_s``:
         even the fastest dispatch-to-finish service ever observed

@@ -43,8 +43,13 @@ but they no longer crowd out requests that can make their deadline).
 outcome.
 
 Batching rule: an idle vehicle takes up to ``ceil(pending / K)``
-requests, picked by a nearest-neighbour chain from the depot, so
-concurrently-dispatched vehicles naturally spread over the field.
+requests. Without a deadline policy they are picked by a
+nearest-neighbour chain from the depot, so concurrently-dispatched
+vehicles naturally spread over the field; with one (and the default
+``edf_batch=True``), the batch is instead filled
+earliest-deadline-first — the chain minimizes travel, but under
+overload it is the requests closest to missing that must ride the
+next departure.
 """
 
 from __future__ import annotations
@@ -147,6 +152,12 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
         estimator: optional shared service-time tracker for the
             deadline policy (e.g. pre-warmed from a previous run); a
             fresh one is built when omitted.
+        edf_batch: when the deadline policy is active, fill each batch
+            earliest-deadline-first instead of by the spatial
+            nearest-neighbour chain, so the requests closest to
+            missing ride the next departure. ``False`` restores the
+            purely spatial batching (the pre-EDF behaviour); ignored
+            without ``deadline_s``.
         audit: retain every settled stop's realized interval and, at
             the end of the run, sweep them for cross-tour simultaneous
             charging (overlapping intervals whose full disks share a
@@ -167,6 +178,7 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
         fault_plan: Optional[FaultPlan] = None,
         deadline_s: Optional[float] = None,
         estimator: Optional[ServiceTimeEstimator] = None,
+        edf_batch: bool = True,
         audit: bool = False,
     ):
         super().__init__(
@@ -188,6 +200,7 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
             if deadline_s is not None
             else None
         )
+        self.edf_batch = edf_batch
         self._disk_index: Optional[GridIndex] = None
         self._disk_cache: Dict[int, FrozenSet[int]] = {}
         self.audit = audit
@@ -226,17 +239,38 @@ class OnlineMonitoringSimulation(MonitoringSimulation):
         pending: Dict[int, float],
         preferred: List[int],
     ) -> List[int]:
-        """Nearest-neighbour chain of up to ceil(pending / K) requests.
+        """Up to ceil(pending / K) requests for the next departure.
 
         ``pending`` maps request id -> original arrival time (requests
         that arrived mid-round are carried here, timestamps intact,
         until a vehicle frees up). ``preferred`` is the subset the
-        chain draws from — the deadline policy passes still-meetable
+        batch draws from — the deadline policy passes still-meetable
         requests first, so provably-late work never crowds them out.
+
+        With an active deadline policy and ``edf_batch``, the batch is
+        the ``quota`` earliest-deadline requests (ties broken by
+        arrival, then id) — triage alone only decides *who may ride*,
+        while this decides *who rides first*, which is where overload
+        misses are actually won or lost. Otherwise the batch is a
+        nearest-neighbour chain from the depot, so
+        concurrently-dispatched vehicles spread over the field.
         """
         if not preferred:
             return []
         quota = max(1, math.ceil(len(pending) / self.num_chargers))
+        if self.deadline is not None and self.edf_batch:
+            policy = self.deadline
+            horizon = float("inf")
+
+            def urgency(sid: int) -> Tuple[float, float, int]:
+                due = policy.deadline_of(sid)
+                return (
+                    due if due is not None else horizon,
+                    pending.get(sid, horizon),
+                    sid,
+                )
+
+            return sorted(preferred, key=urgency)[:quota]
         batch: List[int] = []
         here = self.network.depot.position
         remaining = set(preferred)

@@ -42,6 +42,7 @@ from repro.serve import (
     STATUS_REJECTED,
     ServiceTimeEstimator,
     SupervisedPool,
+    geometry_digest,
     network_digest,
 )
 from repro.serve.workers import execute_plan_job
@@ -381,6 +382,43 @@ class TestPlanningDaemon:
         assert first["context_reused"] is False
         assert second["context_reused"] is True
         assert first["group"] == second["group"]
+
+    def test_residual_drift_invalidates_instead_of_rebuilding(self, net):
+        # Same geometry, drained batteries: the request must land on
+        # the warm group (geometry digest ignores residuals), the
+        # worker must invalidate exactly the drifted sensors, and the
+        # warm replan must be byte-identical to a cold rebuild on the
+        # drifted network.
+        drifted = random_wrsn(num_sensors=15, seed=6)
+        ids = tuple(net.all_sensor_ids()[:8])
+        drained = {
+            sid: 0.5 * drifted.sensor(sid).residual_j for sid in ids[:4]
+        }
+        drifted.set_residuals(drained)
+        assert network_digest(drifted) != network_digest(net)
+        assert geometry_digest(drifted) == geometry_digest(net)
+
+        with PlanningDaemon(DaemonConfig(workers=1)) as daemon:
+            first = daemon.submit(PlanJob(net, ids, 2, "Appro")).wait()
+            second = daemon.submit(
+                PlanJob(drifted, ids, 2, "Appro")
+            ).wait()
+
+        assert first["group"] == second["group"]
+        # The drift rides the *warm* context — no cold rebuild.
+        assert second["context_reused"] is True
+        assert second["cache"]["invalidations"] >= 1
+
+        cold = random_wrsn(num_sensors=15, seed=6)
+        cold.set_residuals(drained)
+        baseline = run_planner("Appro", cold, ids, 2)
+        assert second["schedule"] == schedule_to_dict(
+            baseline, algorithm="Appro"
+        )
+        assert second["longest_delay_s"] == baseline.longest_delay()
+        # The drained batteries actually changed the answer, so the
+        # byte match above is not vacuous.
+        assert second["schedule"] != first["schedule"]
 
     def test_queue_full_rejection_and_ticket_terminality(
         self, gate_planner, net

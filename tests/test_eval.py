@@ -1,0 +1,188 @@
+"""Unit tests for the head-to-head evaluation framework.
+
+The parity-critical path (byte-identical reports across worker counts
+and hash seeds, via the CLI in subprocesses) lives in
+``tests/test_eval_parity.py``; this file covers the in-process
+surface: matrix expansion, cell execution, report assembly, the
+rendered tables, and serial-vs-pool equivalence.
+"""
+
+import json
+
+import pytest
+
+from repro.eval import (
+    EVAL_FORMAT,
+    EvalMatrix,
+    build_cells,
+    build_report,
+    cell_parity_lines,
+    default_matrix,
+    execute_eval_cell,
+    quick_matrix,
+    render_cells_table,
+    render_summary_table,
+    report_to_json,
+    resolve_planners,
+    run_eval,
+)
+from repro.eval.matrix import EVAL_SCENARIOS, instance_seed
+from repro.pipeline import planner_names
+
+
+class TestMatrix:
+    def test_default_matrix_crosses_the_full_grid(self):
+        matrix = default_matrix()
+        cells = build_cells(matrix)
+        expected = (
+            len(matrix.sizes)
+            * len(matrix.densities)
+            * len(matrix.num_chargers)
+            * len(matrix.scenarios)
+            * len(planner_names(paper_only=False))
+        )
+        assert len(cells) == expected
+
+    def test_quick_matrix_is_one_instance(self):
+        matrix = quick_matrix()
+        assert matrix.quick
+        cells = build_cells(matrix)
+        assert len(cells) == 3 * len(planner_names(paper_only=False))
+        assert {c["scenario"] for c in cells} == set(EVAL_SCENARIOS)
+
+    def test_resolve_planners_defaults_to_registry_order(self):
+        assert resolve_planners(default_matrix()) == tuple(
+            planner_names(paper_only=False)
+        )
+        pinned = EvalMatrix(planners=("Appro", "K-EDF"))
+        assert resolve_planners(pinned) == ("Appro", "K-EDF")
+
+    def test_cells_are_grouped_and_uniquely_named(self):
+        cells = build_cells(default_matrix())
+        names = [c["cell"] for c in cells]
+        assert len(names) == len(set(names))
+        by_group = {}
+        for c in cells:
+            by_group.setdefault(c["group"], []).append(c["planner"])
+        roster = list(planner_names(paper_only=False))
+        assert all(v == roster for v in by_group.values())
+
+    def test_instance_seed_depends_on_size_and_density(self):
+        matrix = default_matrix()
+        seeds = {
+            instance_seed(matrix, size, density)
+            for size in (30, 60, 100)
+            for density in (0.5, 1.0)
+        }
+        assert len(seeds) == 6
+
+    def test_payloads_are_json_safe(self):
+        for cell in build_cells(quick_matrix()):
+            assert json.loads(json.dumps(cell)) == cell
+
+
+class TestCellExecution:
+    @pytest.fixture(scope="class")
+    def quick_cells(self):
+        return build_cells(quick_matrix())
+
+    def test_cell_record_shape(self, quick_cells):
+        record = execute_eval_cell(quick_cells[0])
+        assert record["cell"] == quick_cells[0]["cell"]
+        assert record["planner"] == "Appro"
+        assert record["planned_delay_s"] > 0
+        assert record["violations"] == 0
+        assert 0.0 <= record["deadline_miss_ratio"] <= 1.0
+        assert set(record["timing"]) == {"plan_s", "wall_s"}
+
+    def test_overload_enlarges_the_request_set(self, quick_cells):
+        baseline = next(
+            c for c in quick_cells if c["scenario"] == "none"
+        )
+        overload = next(
+            c for c in quick_cells if c["scenario"] == "overload"
+        )
+        assert (
+            execute_eval_cell(overload)["requests"]
+            > execute_eval_cell(baseline)["requests"]
+        )
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def quick_report(self):
+        return run_eval(quick_matrix())
+
+    def test_envelope(self, quick_report):
+        assert quick_report["format"] == EVAL_FORMAT
+        assert quick_report["quick"] is True
+        assert "timings" not in quick_report
+        assert len(quick_report["cells"]) == 3 * len(
+            planner_names(paper_only=False)
+        )
+        for cell in quick_report["cells"]:
+            assert "timing" not in cell
+
+    def test_planner_summary_and_win_rates(self, quick_report):
+        planners = quick_report["planners"]
+        assert set(planners) == set(planner_names(paper_only=False))
+        appro = planners["Appro"]
+        assert appro["win_rate_vs_appro"] == 1.0
+        # The GA is seeded with Appro and only ever improves on it.
+        assert planners["Metaheuristic"]["win_rate_vs_appro"] >= 0.5
+        for stats in planners.values():
+            assert stats["scored_vs_appro"] == stats["cells"]
+            assert 0.0 <= stats["win_rate_vs_appro"] <= 1.0
+            assert stats["total_violations"] == 0
+
+    def test_full_mode_keeps_timings_outside_cells(self):
+        matrix = EvalMatrix(
+            sizes=(20,),
+            densities=(0.5,),
+            num_chargers=(1,),
+            scenarios=("none",),
+            planners=("Appro",),
+            trials=1,
+        )
+        report = run_eval(matrix)
+        assert set(report["timings"]) == {
+            c["cell"] for c in report["cells"]
+        }
+        assert report["timings"][report["cells"][0]["cell"]]["wall_s"] > 0
+
+    def test_serial_and_pool_reports_are_byte_identical(self):
+        serial = run_eval(quick_matrix())
+        pooled = run_eval(quick_matrix(), workers=2)
+        assert report_to_json(serial) == report_to_json(pooled)
+
+    def test_parity_lines_roundtrip(self, quick_report):
+        lines = cell_parity_lines(quick_report)
+        assert len(lines) == len(quick_report["cells"])
+        assert [json.loads(line) for line in lines] == quick_report[
+            "cells"
+        ]
+
+    def test_json_is_canonical(self, quick_report):
+        text = report_to_json(quick_report)
+        assert text.endswith("\n")
+        assert json.loads(text) == quick_report
+        assert report_to_json(json.loads(text)) == text
+
+
+class TestTables:
+    @pytest.fixture(scope="class")
+    def quick_report(self):
+        return run_eval(quick_matrix())
+
+    def test_summary_table_lists_every_planner(self, quick_report):
+        ascii_table = render_summary_table(quick_report)
+        md_table = render_summary_table(quick_report, fmt="markdown")
+        for name in planner_names(paper_only=False):
+            assert name in ascii_table
+            assert name in md_table
+        assert md_table.splitlines()[1].startswith("|")
+
+    def test_cells_table_dashes_wall_in_quick_mode(self, quick_report):
+        table = render_cells_table(quick_report)
+        assert table.splitlines()
+        assert "-" in table.splitlines()[-1].split()[-1]

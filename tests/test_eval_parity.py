@@ -1,0 +1,86 @@
+"""Byte-parity of the quick eval report across the perturbation matrix.
+
+The acceptance bar of the eval framework: ``repro eval --quick`` must
+write the identical report for every worker count and every
+``PYTHONHASHSEED``, because the cells are rebuilt from seeds inside
+each worker and quick mode strips all wall-clock fields. The matrix
+runs through the real CLI in subprocesses (the only way to actually
+vary the hash seed), reusing the sanitize harness's child environment;
+when two reports disagree, the failure message pinpoints the first
+diverging cell and field via the sanitize divergence locator instead
+of dumping two blobs.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.eval import cell_parity_lines, quick_matrix, run_eval
+from repro.serve.sanitize import _child_env, first_divergence
+
+WORKER_COUNTS = (1, 2, 4)
+HASH_SEEDS = (0, 1)
+
+
+def _run_quick_eval(tmp_path, workers: int, hash_seed: int) -> str:
+    out = tmp_path / f"report-w{workers}-h{hash_seed}.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "eval",
+            "--quick",
+            "--workers",
+            str(workers),
+            "-o",
+            str(out),
+        ],
+        env=_child_env(hash_seed, ()),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return out.read_text()
+
+
+def _describe_divergence(baseline: str, other: str, workers, seed) -> str:
+    import json
+
+    base_lines = cell_parity_lines(json.loads(baseline))
+    other_lines = cell_parity_lines(json.loads(other))
+    d = first_divergence(
+        "".join(base_lines),
+        "".join(other_lines),
+        seed,
+        workers,
+        mode="eval",
+    )
+    return (
+        f"report differs at workers={workers} hash_seed={seed}: "
+        f"cell #{d.job_index}, field {d.field!r}"
+    )
+
+
+@pytest.mark.slow
+def test_quick_report_byte_identical_across_matrix(tmp_path):
+    baseline = _run_quick_eval(tmp_path, 1, HASH_SEEDS[0])
+    for workers in WORKER_COUNTS:
+        for seed in HASH_SEEDS:
+            if (workers, seed) == (1, HASH_SEEDS[0]):
+                continue
+            other = _run_quick_eval(tmp_path, workers, seed)
+            assert other == baseline, _describe_divergence(
+                baseline, other, workers, seed
+            )
+
+
+def test_in_process_report_matches_cli_baseline(tmp_path):
+    """The CLI writes exactly what the library computes — the
+    subprocess matrix above therefore covers the library too."""
+    from repro.eval import report_to_json
+
+    cli_text = _run_quick_eval(tmp_path, 1, 0)
+    assert cli_text == report_to_json(run_eval(quick_matrix()))

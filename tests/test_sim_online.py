@@ -187,6 +187,30 @@ class TestDeadlinePolicyOnline:
         assert runs[0].request_delays_s == runs[1].request_delays_s
         assert runs[0].dead_time_s == runs[1].dead_time_s
 
+    def test_edf_batching_beats_spatial_on_overload(self):
+        """Filling batches earliest-deadline-first (the default) must
+        strictly lower the miss ratio against the pre-EDF spatial
+        nearest-neighbour chain under the overload scenario — triage
+        only decides who may ride; the batch order decides who rides
+        first, and that is where overload misses are won."""
+
+        def run(edf_batch):
+            net = random_wrsn(num_sensors=60, seed=21)
+            return OnlineMonitoringSimulation(
+                net,
+                2,
+                horizon_s=self.HORIZON,
+                fault_plan=get_scenario("overload", seed=5),
+                deadline_s=4 * 3600.0,
+                edf_batch=edf_batch,
+            ).run()
+
+        edf, spatial = run(True), run(False)
+        assert edf.deadline_total > 0
+        assert spatial.deadline_total > 0
+        assert edf.deadline_miss_ratio < spatial.deadline_miss_ratio
+        assert edf.deadline_misses < spatial.deadline_misses
+
     def test_overload_scenario_exercises_deadline_metrics(self):
         """The fault campaign's overload scenario drives surged
         arrivals through the deadline ledger."""
